@@ -1,0 +1,49 @@
+"""Shared benchmark infrastructure.
+
+Heavy experiment results (the LIFE figures take minutes, as they did on
+the paper's HP9000) are computed once per session inside their benchmark
+timer and stashed in ``experiment_store`` so the Table 6.1 bench can print
+the sweep without re-running everything.  Rendered figures land in
+``out/figures``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).resolve().parent.parent / "out"
+FIGURES_DIR = OUT_DIR / "figures"
+
+
+@pytest.fixture(scope="session")
+def experiment_store() -> dict:
+    """Session-wide store: experiment id -> result summary dict."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def figures_dir() -> Path:
+    FIGURES_DIR.mkdir(parents=True, exist_ok=True)
+    return FIGURES_DIR
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Render a list of uniform dicts as an aligned text table."""
+    if not rows:
+        print(f"\n{title}: (no rows)")
+        return
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), *(len(str(r[h])) for r in rows)) for h in headers
+    }
+    print(f"\n{title}")
+    print("  " + "  ".join(h.ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  " + "  ".join(str(row[h]).ljust(widths[h]) for h in headers))

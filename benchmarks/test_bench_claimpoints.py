@@ -1,0 +1,90 @@
+"""Ablation: the claimpoint extension (section 5.7).
+
+The paper: "in practice, a decrease of about 75% in the number of
+unroutable nets may be obtained."  The failure mode claims fix is the
+figure 5.10 pattern — a net taking the only escape track of a terminal
+routed later — so the workload is a field of facing module pairs with a
+channel exactly as wide as the nets crossing it (see
+``repro.workloads.congestion``), with the channel ends pinned so nothing
+escapes around.  Roomy random placements are included to show claims
+never hurt where there is no congestion.
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import route_placed
+from repro.core.geometry import Side
+from repro.place.pablo import PabloOptions, place_network
+from repro.route.eureka import RouterOptions
+from repro.workloads.congestion import facing_pairs_diagram
+from repro.workloads.random_nets import random_network
+
+SEEDS = range(8)
+CHANNEL_OPTS = dict(
+    retry_failed=False,
+    margin=1,
+    fixed_sides=frozenset({Side.LEFT, Side.RIGHT}),
+)
+
+
+def test_claimpoints_reduce_unroutable_nets(benchmark, experiment_store):
+    def run():
+        rows = []
+        for seed in SEEDS:
+            make = lambda: facing_pairs_diagram(pairs=8, nets_per_pair=4, seed=seed)
+            with_claims = route_placed(
+                make(), RouterOptions(claimpoints=True, **CHANNEL_OPTS)
+            )
+            without = route_placed(
+                make(), RouterOptions(claimpoints=False, **CHANNEL_OPTS)
+            )
+            rows.append(
+                {
+                    "scenario": f"channels{seed}",
+                    "nets": with_claims.metrics.nets_total,
+                    "failed_with_claims": with_claims.metrics.nets_failed,
+                    "failed_without": without.metrics.nets_failed,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Claimpoints ablation (section 5.7)", rows)
+    total_with = sum(r["failed_with_claims"] for r in rows)
+    total_without = sum(r["failed_without"] for r in rows)
+    reduction = 1 - total_with / total_without if total_without else 0.0
+    print(
+        f"\ntotal unroutable: {total_with} with claims vs {total_without} "
+        f"without -> {reduction:.0%} reduction (paper: ~75%)"
+    )
+    experiment_store["abl_claims"] = {
+        "failed_with": total_with,
+        "failed_without": total_without,
+        "reduction": round(reduction, 2),
+    }
+    assert total_without > 0  # the scenarios are actually congested
+    assert total_with <= total_without
+    assert reduction >= 0.5  # the paper's "about 75%" band
+
+
+def test_claimpoints_harmless_when_roomy(benchmark):
+    """On uncongested placements claims must not cost any routability."""
+
+    def run():
+        rows = []
+        for seed in (1, 2, 3, 4):
+            net = random_network(modules=10, extra_nets=6, seed=seed)
+            base, _ = place_network(net, PabloOptions(partition_size=4, box_size=3))
+            with_claims = route_placed(base.copy_placement(), RouterOptions())
+            without = route_placed(
+                base.copy_placement(), RouterOptions(claimpoints=False)
+            )
+            rows.append(
+                (with_claims.metrics.nets_failed, without.metrics.nets_failed)
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    assert all(w == 0 for w, _ in rows)

@@ -1,0 +1,81 @@
+"""Ablation: the two line-expansion engines.
+
+``state`` is the exhaustive lexicographic search, ``intervals`` is the
+paper's literal segment-sweep algorithm (sections 5.5.2/5.6.3).  They are
+bend-equivalent by construction; the interval engine's crossover
+minimisation is wave-local (the paper's UPDATE_SOLUTION), so it may trade
+crossovers for nothing — this bench quantifies that and the speed
+difference on the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import generate, route_placed
+from repro.core.validate import check_diagram
+from repro.place.pablo import PabloOptions
+from repro.route.eureka import RouterOptions
+from repro.workloads.examples import example2_controller
+from repro.workloads.life import hand_placement
+from repro.workloads.random_nets import random_network
+
+
+def _scenarios():
+    yield "example2", lambda opts: generate(
+        example2_controller(), PabloOptions(partition_size=5), opts
+    )
+    for seed in (51, 52):
+        yield f"random{seed}", (
+            lambda opts, s=seed: generate(
+                random_network(modules=12, extra_nets=6, seed=s),
+                PabloOptions(partition_size=4, box_size=3),
+                opts,
+            )
+        )
+    yield "life(pitch 18)", lambda opts: route_placed(
+        hand_placement(pitch=18),
+        RouterOptions(margin=10, retry_failed=False, engine=opts.engine),
+    )
+
+
+def test_engine_comparison(benchmark, experiment_store):
+    def run():
+        rows = []
+        for name, runner in _scenarios():
+            per_engine = {}
+            for engine in ("state", "intervals"):
+                result = runner(RouterOptions(engine=engine))
+                check_diagram(result.diagram)
+                per_engine[engine] = result
+            s, i = per_engine["state"], per_engine["intervals"]
+            rows.append(
+                {
+                    "scenario": name,
+                    "routed_state": f"{s.metrics.nets_routed}/{s.metrics.nets_total}",
+                    "routed_intervals": f"{i.metrics.nets_routed}/{i.metrics.nets_total}",
+                    "bends_state": s.metrics.bends,
+                    "bends_intervals": i.metrics.bends,
+                    "cross_state": s.metrics.crossovers,
+                    "cross_intervals": i.metrics.crossovers,
+                    "route_s_state": round(s.routing.seconds, 2),
+                    "route_s_intervals": round(i.routing.seconds, 2),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Line-expansion engines: state search vs interval sweep", rows)
+    experiment_store["abl_engines"] = rows
+
+    # Per-connection bends are provably equal; whole-diagram bends may
+    # drift a little because different tie-breaks change the obstacle
+    # field seen by later nets.  Crossover counts favour the state engine.
+    total_bends_state = sum(r["bends_state"] for r in rows)
+    total_bends_intervals = sum(r["bends_intervals"] for r in rows)
+    assert abs(total_bends_state - total_bends_intervals) <= 0.25 * max(
+        total_bends_state, total_bends_intervals
+    )
+    assert sum(r["cross_state"] for r in rows) <= sum(
+        r["cross_intervals"] for r in rows
+    )

@@ -1,0 +1,136 @@
+"""Ablation: iterative placement improvement (section 4.2.1).
+
+The paper rejects the pairwise-exchange improvement class because "a
+diagram should be produced in no time" and greedy wire-length moves get
+stuck in local minima.  This bench quantifies the trade-off on the
+class's home turf — a scrambled slot placement of uniform modules, where
+every pair is exchangeable: the pass recovers a lot of wire length, but
+costs far more time than constructive placement, and a constructive
+PABLO placement needs no improvement at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import once, print_table
+
+from repro.core.diagram import Diagram
+from repro.core.generator import route_placed
+from repro.core.geometry import Point
+from repro.core.netlist import Network
+from repro.place.improvement import improve_placement
+from repro.place.pablo import PabloOptions, place_network
+from repro.place.terminal_place import place_terminals
+from repro.route.eureka import RouterOptions
+from repro.workloads.examples import example2_controller
+from repro.workloads.stdlib import instantiate
+
+ROUTER = RouterOptions(margin=6)
+GRID = 4  # 4x4 slots
+PITCH = 8
+
+
+def _uniform_network(seed: int) -> Network:
+    """16 identical gates with chain + random nets: fully exchangeable."""
+    rng = random.Random(seed)
+    net = Network(name=f"uniform{seed}")
+    n = GRID * GRID
+    for i in range(n):
+        net.add_module(instantiate("mux2", f"g{i}"))
+    for i in range(n - 1):
+        net.connect(f"c{i}", f"g{i}.y", f"g{i + 1}.a")
+    for j in range(8):
+        a, b = rng.sample(range(n), 2)
+        net.connect(f"x{j}", f"g{a}.y" if a < b else f"g{b}.y", f"g{max(a, b)}.b")
+    return net
+
+
+def _scrambled_placement(net: Network, seed: int) -> Diagram:
+    rng = random.Random(seed + 1000)
+    slots = [(c, r) for c in range(GRID) for r in range(GRID)]
+    rng.shuffle(slots)
+    d = Diagram(net)
+    for (c, r), name in zip(slots, sorted(net.modules)):
+        d.place_module(name, Point(c * PITCH, r * PITCH))
+    place_terminals(d)
+    return d
+
+
+def test_improvement_tradeoff(benchmark, experiment_store):
+    def run():
+        rows = []
+        for seed in (41, 42, 43):
+            net = _uniform_network(seed)
+            scrambled = _scrambled_placement(net, seed)
+            improved = scrambled.copy_placement()
+            imp = improve_placement(improved)
+
+            routed_base = route_placed(scrambled.copy_placement(), ROUTER)
+            routed_imp = route_placed(improved, ROUTER)
+            rows.append(
+                {
+                    "network": f"uniform{seed}",
+                    "hpwl_before": imp.initial_cost,
+                    "hpwl_after": imp.final_cost,
+                    "gain": f"{imp.gain:.0%}",
+                    "swaps": imp.swaps,
+                    "improve_s": round(imp.seconds, 3),
+                    "bends_base": routed_base.metrics.bends,
+                    "bends_improved": routed_imp.metrics.bends,
+                    "len_base": routed_base.metrics.length,
+                    "len_improved": routed_imp.metrics.length,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Iterative improvement on scrambled placements (section 4.2.1)", rows
+    )
+    experiment_store["abl_improvement"] = rows
+
+    assert all(r["hpwl_after"] <= r["hpwl_before"] for r in rows)
+    assert all(r["swaps"] > 0 for r in rows)  # there was real work
+    # The model objective improves a lot on garbage input...
+    assert sum(r["hpwl_after"] for r in rows) < 0.8 * sum(
+        r["hpwl_before"] for r in rows
+    )
+    # ...and the routed wire length follows it.
+    assert sum(r["len_improved"] for r in rows) < sum(r["len_base"] for r in rows)
+
+
+def test_constructive_placement_needs_no_improvement(benchmark):
+    """The paper's point: PABLO's constructive result is already at (or
+    near) the exchange algorithm's local minimum — the greedy pass spends
+    its trials to find (almost) nothing."""
+
+    def run():
+        net = example2_controller()
+        diagram, report = place_network(net, PabloOptions(partition_size=5, box_size=3))
+        imp = improve_placement(diagram)
+        return report, imp
+
+    report, imp = once(benchmark, run)
+    print(
+        f"\nPABLO placement {report.seconds * 1000:.0f} ms, improvement pass "
+        f"{imp.seconds * 1000:.0f} ms over {imp.trials} trials for "
+        f"{imp.swaps} swap(s), gain {imp.gain:.1%}"
+    )
+    assert imp.gain <= 0.05  # nothing substantial left to find
+
+
+def test_improvement_converges(benchmark):
+    """Greediness terminates: a second run finds nothing to do."""
+
+    def run():
+        net = _uniform_network(7)
+        diagram = _scrambled_placement(net, 7)
+        first = improve_placement(diagram)
+        second = improve_placement(diagram)
+        return first, second
+
+    first, second = once(benchmark, run)
+    assert first.swaps > 0
+    assert second.swaps == 0
+    assert second.final_cost == first.final_cost

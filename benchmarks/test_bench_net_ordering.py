@@ -1,0 +1,85 @@
+"""Ablation: net-ordering criteria (chapter 7, further research).
+
+The paper: "Routing of the nets is done successively.  It is probably
+better to construct a certain criterion for selecting the next net to be
+routed partially or completely."  EUREKA exposes three orders; this bench
+measures them on congested and roomy workloads.  The expected shape:
+ordering matters on congested inputs (different failure/quality numbers)
+and shortest-span-first is a solid default.
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import route_placed
+from repro.core.geometry import Side
+from repro.route.eureka import RouterOptions
+from repro.workloads.congestion import facing_pairs_diagram
+from repro.workloads.life import hand_placement
+
+ORDERS = ("input", "shortest_first", "fewest_pins_first")
+
+
+def test_net_ordering(benchmark, experiment_store):
+    def run():
+        rows = []
+        channel_opts = dict(
+            margin=1,
+            retry_failed=False,
+            claimpoints=False,
+            fixed_sides=frozenset({Side.LEFT, Side.RIGHT}),
+        )
+        for order in ORDERS:
+            failed = length = bends = 0
+            for seed in range(6):
+                d = facing_pairs_diagram(pairs=6, nets_per_pair=4, seed=seed)
+                r = route_placed(d, RouterOptions(net_order=order, **channel_opts))
+                failed += r.metrics.nets_failed
+                length += r.metrics.length
+                bends += r.metrics.bends
+            rows.append(
+                {
+                    "workload": "channels(no claims)",
+                    "order": order,
+                    "failed": failed,
+                    "length": length,
+                    "bends": bends,
+                }
+            )
+        # A moderately tight LIFE board (claims on, one pass, no retry).
+        for order in ORDERS:
+            d = hand_placement(pitch=18)
+            r = route_placed(
+                d,
+                RouterOptions(net_order=order, margin=10, retry_failed=False),
+            )
+            rows.append(
+                {
+                    "workload": "life(pitch 18)",
+                    "order": order,
+                    "failed": r.metrics.nets_failed,
+                    "length": r.metrics.length,
+                    "bends": r.metrics.bends,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Net ordering ablation (chapter 7)", rows)
+    experiment_store["abl_net_order"] = rows
+
+    # Ordering is consequential: at least two orders disagree somewhere.
+    by_workload: dict[str, list[dict]] = {}
+    for r in rows:
+        by_workload.setdefault(r["workload"], []).append(r)
+    assert any(
+        len({(r["failed"], r["length"]) for r in group}) > 1
+        for group in by_workload.values()
+    )
+    # The library default is never the worst failure count on aggregate.
+    totals = {
+        order: sum(r["failed"] for r in rows if r["order"] == order)
+        for order in ORDERS
+    }
+    assert totals["shortest_first"] <= max(totals.values())

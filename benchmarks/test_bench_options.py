@@ -1,0 +1,72 @@
+"""Ablation: the -s option (Appendix F) — tie-break order of the router.
+
+Default: among minimum-bend paths take minimum crossovers, then minimum
+length.  With -s: length first, crossovers second.  The shape: the
+crossover-first order never produces more crossovers, the length-first
+order never produces longer wires (aggregated over workloads; bends are
+identical by construction).
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import route_placed
+from repro.place.pablo import PabloOptions, place_network
+from repro.route.eureka import RouterOptions
+from repro.workloads.examples import example2_controller
+from repro.workloads.random_nets import random_network
+
+
+def _scenarios():
+    out = []
+    d, _ = place_network(example2_controller(), PabloOptions(partition_size=5))
+    out.append(("example2", d))
+    for seed in (7, 8, 9):
+        net = random_network(modules=10, extra_nets=8, seed=seed)
+        diagram, _ = place_network(net, PabloOptions(partition_size=4, box_size=3))
+        out.append((f"random{seed}", diagram))
+    return out
+
+
+def test_swap_option_trades_crossings_for_length(benchmark, experiment_store):
+    def run():
+        rows = []
+        for name, diagram in _scenarios():
+            default = route_placed(diagram.copy_placement(), RouterOptions())
+            swapped = route_placed(
+                diagram.copy_placement(), RouterOptions().with_swap_option()
+            )
+            rows.append(
+                {
+                    "scenario": name,
+                    "bends_default": default.metrics.bends,
+                    "bends_swap": swapped.metrics.bends,
+                    "cross_default": default.metrics.crossovers,
+                    "cross_swap": swapped.metrics.crossovers,
+                    "len_default": default.metrics.length,
+                    "len_swap": swapped.metrics.length,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Router tie-break order (-s option, Appendix F)", rows)
+    cross_default = sum(r["cross_default"] for r in rows)
+    cross_swap = sum(r["cross_swap"] for r in rows)
+    len_default = sum(r["len_default"] for r in rows)
+    len_swap = sum(r["len_swap"] for r in rows)
+    print(
+        f"\ntotals: crossovers {cross_default} vs {cross_swap} (swap), "
+        f"length {len_default} vs {len_swap} (swap)"
+    )
+    experiment_store["abl_s_option"] = {
+        "cross_default": cross_default,
+        "cross_swap": cross_swap,
+        "len_default": len_default,
+        "len_swap": len_swap,
+    }
+    # The default order is crossover-averse, -s is length-averse.  Net
+    # interactions mean per-scenario noise, so assert on the totals.
+    assert cross_default <= cross_swap
+    assert len_swap <= len_default

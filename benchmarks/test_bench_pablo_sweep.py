@@ -1,0 +1,82 @@
+"""Ablation: the PABLO -p / -b option space (sections 4.6, chapter 7).
+
+"Because the issue of esthetics is very subjective, the size of the
+partitions and the length of the strings is user controlled ... several
+schematic diagrams of the same network may be examined by changing the
+sizes."  This bench examines them all: a full sweep of partition and box
+size over example 2, with the chapter-6 trend asserted — turning on
+strings (box size > 1) buys bends, the paper's primary readability
+metric, across the partition sizes that allow strings at all.
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import generate
+from repro.core.metrics import diagram_metrics
+from repro.core.validate import check_diagram
+from repro.place.pablo import PabloOptions
+from repro.route.ripup import reroute_failed
+from repro.workloads.examples import example2_controller
+
+PARTITION_SIZES = [1, 3, 5, 7, 16]
+BOX_SIZES = [1, 3, 5]
+
+
+def test_pablo_option_sweep(benchmark, experiment_store):
+    def run():
+        rows = []
+        for p in PARTITION_SIZES:
+            for b in BOX_SIZES:
+                if b > p:
+                    continue  # strings cannot exceed their partition
+                result = generate(
+                    example2_controller(),
+                    PabloOptions(partition_size=p, box_size=b),
+                )
+                if result.metrics.nets_failed:
+                    # The densest configurations can leave a net walled in
+                    # by earlier wires; the rip-up pass (the paper's
+                    # "adjusting some nets by hand") completes them.
+                    reroute_failed(result.diagram)
+                    result.metrics = diagram_metrics(result.diagram)
+                check_diagram(result.diagram)
+                rows.append(
+                    {
+                        "p": p,
+                        "b": b,
+                        "partitions": result.placement.partition_count,
+                        "boxes": result.placement.box_count,
+                        "routed": f"{result.metrics.nets_routed}/{result.metrics.nets_total}",
+                        "failed": result.metrics.nets_failed,
+                        "length": result.metrics.length,
+                        "bends": result.metrics.bends,
+                        "crossovers": result.metrics.crossovers,
+                        "area": result.diagram.bounding_box(
+                            include_routes=False
+                        ).area,
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("PABLO option sweep on example 2 (16 modules / 24 nets)", rows)
+    experiment_store["abl_pablo_sweep"] = rows
+
+    # Every configuration ends fully routed (rip-up included).
+    assert all(r["failed"] == 0 for r in rows)
+    # More partition room means fewer partitions, monotonically.
+    for b in BOX_SIZES:
+        counts = [r["partitions"] for r in rows if r["b"] == b]
+        assert counts == sorted(counts, reverse=True)
+    # The chapter 6 trend: strings (b>1) reduce bends versus no strings,
+    # aggregated over the partition sizes that support both.
+    comparable = [p for p in PARTITION_SIZES if p >= 3]
+    bends_no_strings = sum(
+        r["bends"] for r in rows if r["b"] == 1 and r["p"] in comparable
+    )
+    bends_strings = sum(
+        r["bends"] for r in rows if r["b"] == 5 and r["p"] in comparable
+    )
+    assert bends_strings < bends_no_strings

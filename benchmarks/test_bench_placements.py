@@ -1,0 +1,87 @@
+"""Placement comparison (sections 4.2, 4.3, 4.5): PABLO vs the baselines.
+
+The paper argues PABLO's partition/string/gravity pipeline fits
+schematics better than the classic layout placers.  We place the same
+networks with all four placers, route with the same EUREKA settings, and
+compare routed quality.  The shapes to reproduce:
+
+* every placer's output routes legally,
+* PABLO yields left-to-right strings (bends stay low),
+* the column placer (built for logic schematics) pays in wire length,
+* min-cut/epitaxial ignore signal flow — crossovers and bends suffer on
+  schematic-like (stringy) networks.
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import route_placed
+from repro.core.validate import check_diagram
+from repro.place.epitaxial import epitaxial_placement
+from repro.place.logic_columns import logic_columns_placement
+from repro.place.mincut import mincut_placement
+from repro.place.pablo import PabloOptions, place_network
+from repro.route.eureka import RouterOptions
+from repro.workloads.examples import example2_controller
+from repro.workloads.random_nets import random_network
+
+ROUTER = RouterOptions(margin=6)
+
+
+def _place_all(net):
+    pablo, _ = place_network(net, PabloOptions(partition_size=5, box_size=4))
+    return {
+        "pablo": pablo,
+        "epitaxial": epitaxial_placement(net),
+        "mincut": mincut_placement(net),
+        "columns": logic_columns_placement(net),
+    }
+
+
+def test_placement_comparison(benchmark, experiment_store):
+    networks = {
+        "example2": example2_controller(),
+        "random10": random_network(modules=10, extra_nets=5, seed=21),
+        "random14": random_network(modules=14, extra_nets=6, seed=22),
+    }
+
+    def run():
+        rows = []
+        for net_name, net in networks.items():
+            for placer_name, diagram in _place_all(net).items():
+                result = route_placed(diagram, ROUTER)
+                check_diagram(result.diagram)
+                rows.append(
+                    {
+                        "network": net_name,
+                        "placer": placer_name,
+                        "routed": f"{result.metrics.nets_routed}/{result.metrics.nets_total}",
+                        "failed": result.metrics.nets_failed,
+                        "length": result.metrics.length,
+                        "bends": result.metrics.bends,
+                        "crossovers": result.metrics.crossovers,
+                        "area": result.diagram.bounding_box(include_routes=False).area,
+                    }
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Placement comparison (PABLO vs baselines)", rows)
+    experiment_store["abl_place"] = rows
+
+    by = {}
+    for row in rows:
+        by.setdefault(row["placer"], []).append(row)
+
+    def total(placer, key):
+        return sum(r[key] for r in by[placer])
+
+    # Everything routes almost completely under every placer.
+    assert all(r["failed"] <= 1 for r in rows)
+    # PABLO's strings keep bends at or below the layout-style placers on
+    # aggregate (rule 6: bends hurt readability).
+    assert total("pablo", "bends") <= total("mincut", "bends") * 1.2
+    assert total("pablo", "bends") <= total("epitaxial", "bends") * 1.2
+    # The column placer stretches wires (its known cost).
+    assert total("columns", "length") >= total("pablo", "length") * 0.9

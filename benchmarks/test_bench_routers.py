@@ -1,0 +1,112 @@
+"""Router comparison (sections 5.2 and 5.4): line-expansion vs Lee vs
+Hightower on random mazes.
+
+The paper's argument for the line-expansion principle:
+
+* it guarantees a connection whenever one exists (like Lee, unlike
+  Hightower),
+* it finds minimum-bend paths (like Hightower on simple mazes, unlike
+  Lee, whose minimum-length paths zigzag),
+* Lee pays for minimality in bends; Hightower is fast but incomplete.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import once, print_table
+
+from repro.core.geometry import Direction, Point, Rect
+from repro.route.hightower import route_hightower
+from repro.route.lee import route_lee
+from repro.route.line_expansion import SearchStats, route_connection
+from repro.route.plane import Plane
+
+MAZES = 40
+SIZE = 28
+
+
+def _random_maze(rng: random.Random):
+    plane = Plane(bounds=Rect(0, 0, SIZE, SIZE))
+    for _ in range(rng.randint(3, 8)):
+        w, h = rng.randint(1, 6), rng.randint(1, 6)
+        x = rng.randint(1, SIZE - w - 1)
+        y = rng.randint(1, SIZE - h - 1)
+        plane.block_rect(Rect(x, y, w, h))
+    free = [
+        Point(x, y)
+        for x in range(SIZE + 1)
+        for y in range(SIZE + 1)
+        if not plane.occupied(Point(x, y))
+    ]
+    start = rng.choice(free)
+    goal = rng.choice(free)
+    return plane, start, goal
+
+
+def test_router_comparison(benchmark, experiment_store):
+    rng = random.Random(42)
+    mazes = [_random_maze(rng) for _ in range(MAZES)]
+
+    def run():
+        totals = {
+            name: {"found": 0, "bends": 0, "length": 0, "states": 0}
+            for name in ("line_expansion", "lee", "hightower")
+        }
+        routers = {
+            "line_expansion": route_connection,
+            "lee": route_lee,
+            "hightower": route_hightower,
+        }
+        solvable = 0
+        for plane, start, goal in mazes:
+            results = {}
+            for name, router in routers.items():
+                stats = SearchStats()
+                results[name] = router(
+                    plane, "n", start, list(Direction), [goal], stats=stats
+                )
+                totals[name]["states"] += stats.states_expanded
+            if results["line_expansion"] is not None:
+                solvable += 1
+            for name, r in results.items():
+                if r is not None:
+                    totals[name]["found"] += 1
+                    totals[name]["bends"] += r.bends
+                    totals[name]["length"] += r.length
+            # Exhaustive routers agree on solvability.
+            assert (results["line_expansion"] is None) == (results["lee"] is None)
+            if results["line_expansion"] is not None and results["lee"] is not None:
+                assert results["lee"].length <= results["line_expansion"].length
+                assert (
+                    results["line_expansion"].bends <= results["lee"].bends
+                )
+            if results["hightower"] is not None:
+                # Hightower can only find what exists.
+                assert results["line_expansion"] is not None
+        return totals, solvable
+
+    totals, solvable = once(benchmark, run)
+    rows = [
+        {
+            "router": name,
+            "found": f'{t["found"]}/{solvable}',
+            "total_bends": t["bends"],
+            "total_length": t["length"],
+            "states_expanded": t["states"],
+        }
+        for name, t in totals.items()
+    ]
+    print_table(f"Router comparison on {MAZES} random mazes", rows)
+    experiment_store["abl_routers"] = {r["router"]: r for r in rows}
+
+    exp, lee, ht = (
+        totals["line_expansion"],
+        totals["lee"],
+        totals["hightower"],
+    )
+    assert exp["found"] == lee["found"] == solvable  # guaranteed solution
+    assert ht["found"] <= solvable  # no guarantee
+    assert exp["bends"] <= lee["bends"]  # min-bend objective
+    assert lee["length"] <= exp["length"]  # min-length objective
+    assert ht["states"] < exp["states"]  # the line probes are cheap

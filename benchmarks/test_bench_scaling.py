@@ -1,0 +1,60 @@
+"""Scaling / complexity experiments (sections 4.6.8 and 5.8).
+
+The paper makes complexity claims qualitatively: placement "is strongly
+related to the number of modules in the network"; routing "is strongly
+related to the number of bends in the constructed path" and slows as
+congestion grows.  We sweep a parameterised datapath from 8 to 46
+modules and record the curves.
+"""
+
+from __future__ import annotations
+
+from conftest import once, print_table
+
+from repro.core.generator import generate
+from repro.core.validate import check_diagram
+from repro.place.pablo import PabloOptions
+from repro.route.eureka import RouterOptions
+from repro.workloads.datapath import datapath_network
+
+SWEEP = [(1, 4), (2, 4), (2, 8), (3, 8)]
+
+
+def test_scaling_sweep(benchmark, experiment_store):
+    def run():
+        rows = []
+        for lanes, stages in SWEEP:
+            net = datapath_network(lanes=lanes, stages=stages)
+            result = generate(
+                net,
+                PabloOptions(partition_size=6, box_size=5, module_extra_space=1),
+                RouterOptions(margin=8),
+            )
+            check_diagram(result.diagram)
+            rows.append(
+                {
+                    "network": net.name,
+                    "modules": len(net.modules),
+                    "nets": result.metrics.nets_total,
+                    "routed": result.metrics.nets_routed,
+                    "place_s": round(result.placement.seconds, 3),
+                    "route_s": round(result.routing.seconds, 3),
+                    "states": result.routing.search.states_expanded,
+                    "bends": result.metrics.bends,
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("Scaling sweep (sections 4.6.8 / 5.8)", rows)
+    experiment_store["scaling"] = rows
+
+    # Everything routes completely at every size.
+    assert all(r["routed"] == r["nets"] for r in rows)
+    # Placement stays cheap in absolute terms (the paper: "in no time").
+    assert all(r["place_s"] < 2.0 for r in rows)
+    # Routing effort (search states) grows with design size.
+    states = [r["states"] for r in rows]
+    assert states[-1] > states[0]
+    # Routing dominates placement at the largest size.
+    assert rows[-1]["route_s"] > rows[-1]["place_s"]

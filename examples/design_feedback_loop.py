@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The interactive design loop the paper motivates (chapters 2 and 3).
+
+During synthesis a designer wants quick schematic feedback, tweaks what
+displeases them, and regenerates.  This example plays that loop on the
+paper's example 2 network (16 modules / 24 nets):
+
+1. generate several diagrams of the *same* network by varying the -p/-b
+   options (figures 6.2, 6.3, 6.4) and compare their quality metrics,
+2. pick one, manually move a module (figure 6.5) and re-route,
+3. preplace a block by hand, let PABLO place the rest around it (the -g
+   option), and route.
+
+Run:  python examples/design_feedback_loop.py
+"""
+
+from pathlib import Path
+
+from repro import Diagram, PabloOptions, Point, check_diagram, generate
+from repro.core.generator import route_placed
+from repro.render.svg import save_svg
+from repro.workloads.examples import example2_controller
+
+OUT = Path(__file__).resolve().parent.parent / "out" / "examples"
+
+
+def sweep_options(network) -> dict:
+    """Step 1: the paper's 'several schematic diagrams of the same network
+    may be examined by changing the sizes'."""
+    variants = {
+        "clusters (-p1 -b1)": PabloOptions(partition_size=1, box_size=1),
+        "partitions (-p5 -b1)": PabloOptions(partition_size=5, box_size=1),
+        "strings (-p7 -b5)": PabloOptions(partition_size=7, box_size=5),
+    }
+    results = {}
+    print(f"{'variant':24} {'parts':>5} {'routed':>7} {'len':>5} {'bends':>5} {'cross':>5}")
+    for label, options in variants.items():
+        result = generate(network, options)
+        check_diagram(result.diagram)
+        m = result.metrics
+        print(
+            f"{label:24} {result.placement.partition_count:>5} "
+            f"{m.nets_routed:>3}/{m.nets_total:<3} {m.length:>5} "
+            f"{m.bends:>5} {m.crossovers:>5}"
+        )
+        results[label] = result
+    return results
+
+
+def manual_edit(result) -> None:
+    """Step 2: figure 6.5 — drag one module away, re-route everything."""
+    edited = result.diagram.copy_placement()
+    bbox = edited.bounding_box(include_routes=False)
+    edited.place_module("buf0", Point(bbox.x - 14, bbox.y2 + 6))
+    rerouted = route_placed(edited)
+    check_diagram(rerouted.diagram)
+    m = rerouted.metrics
+    print(
+        f"\nafter moving buf0 to the top left: routed {m.nets_routed}/"
+        f"{m.nets_total}, length {m.length}, bends {m.bends}"
+    )
+    save_svg(rerouted.diagram, OUT / "feedback_edited.svg")
+
+
+def preplaced_block(network) -> None:
+    """Step 3: the -g option — a hand-placed controller block stays put
+    and the rest of the design grows around it."""
+    pre = Diagram(network)
+    pre.place_module("ctl", Point(0, 0))
+    pre.place_module("reg0", Point(14, 2))
+    result = generate(
+        network, PabloOptions(partition_size=5, box_size=3), preplaced=pre
+    )
+    check_diagram(result.diagram)
+    assert result.diagram.placements["ctl"].position == Point(0, 0)
+    assert result.diagram.placements["reg0"].position == Point(14, 2)
+    m = result.metrics
+    print(
+        f"\nwith ctl/reg0 preplaced: routed {m.nets_routed}/{m.nets_total}, "
+        f"the preplaced block kept its position"
+    )
+    save_svg(result.diagram, OUT / "feedback_preplaced.svg")
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    network = example2_controller()
+    results = sweep_options(network)
+    for label, result in results.items():
+        stem = label.split()[0]
+        save_svg(result.diagram, OUT / f"feedback_{stem}.svg")
+    manual_edit(results["clusters (-p1 -b1)"])
+    preplaced_block(example2_controller())
+    print(f"\nSVGs written under {OUT}")
+
+
+if __name__ == "__main__":
+    main()

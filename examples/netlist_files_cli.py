@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The file-based flow (Appendices A, B, E, F): net-list files in,
+ESCHER + SVG artwork out, all through the same entry points the CLI uses.
+
+1. write a network out as the three Appendix A files,
+2. extend a module library with a QUINTO description (Appendix B),
+3. place with ``pablo``, route with ``eureka``, render with ``artwork`` —
+   invoked as Python functions exactly as the console scripts would.
+
+Run:  python examples/netlist_files_cli.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cli import artwork_main, eureka_main, pablo_main, quinto_main
+from repro.core.netlist import Network, TermType
+from repro.formats.library import ModuleLibrary
+from repro.formats.netlist_files import save_network_files
+
+
+def build_network_with_custom_module(lib_dir: Path) -> Network:
+    """A network using one custom template added via QUINTO."""
+    desc = lib_dir / "majority.desc"
+    desc.write_text(
+        "module majority 40 40\n"
+        "in a 0 10\n"
+        "in b 0 20\n"
+        "in c 0 30\n"
+        "out y 40 20\n"
+    )
+    quinto_main([str(desc), "--library", str(lib_dir)])
+    # Ship the standard templates alongside so the mixed design loads.
+    ModuleLibrary.standard().save(lib_dir)
+
+    lib = ModuleLibrary.load(lib_dir)
+    net = Network(name="voter")
+    net.add_module(lib("majority", "vote"))
+    net.add_module(lib("dff", "s0"))
+    net.add_module(lib("dff", "s1"))
+    net.add_module(lib("dff", "s2"))
+    net.add_module(lib("buf", "drv"))
+    net.add_system_terminal("sample", TermType.IN)
+    net.add_system_terminal("decision", TermType.OUT)
+    net.connect("n_in", "sample", "s0.d")
+    net.connect("n_s0", "s0.q", "s1.d", "vote.a")
+    net.connect("n_s1", "s1.q", "s2.d", "vote.b")
+    net.connect("n_s2", "s2.q", "vote.c")
+    net.connect("n_y", "vote.y", "drv.a")
+    net.connect("n_out", "drv.y", "decision")
+    net.validate()
+    return net
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        lib_dir = tmp_path / "user_lib"
+        lib_dir.mkdir()
+        network = build_network_with_custom_module(lib_dir)
+        paths = save_network_files(network, tmp_path)
+        print(f"wrote Appendix A files: {sorted(p.name for p in paths.values())}")
+        net_args = [
+            str(paths["netlist"]),
+            str(paths["call"]),
+            str(paths["io"]),
+            "--library",
+            str(lib_dir),
+        ]
+
+        placed = tmp_path / "placed.es"
+        assert pablo_main(net_args + ["-p", "6", "-b", "5", "-o", str(placed)]) == 0
+
+        routed = tmp_path / "routed.es"
+        assert (
+            eureka_main([str(placed)] + net_args + ["-o", str(routed)]) == 0
+        )
+
+        out_dir = Path(__file__).resolve().parent.parent / "out" / "examples"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        svg = out_dir / "voter.svg"
+        assert artwork_main(net_args + ["-p", "6", "-b", "5", "-o", str(svg)]) == 0
+        print(f"wrote {svg}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#TUE-ES-871
+temp: 0 1 0 1 1
+tname: example1
+lname: USER_LIB
+repr: 0 0 0 -40 0 440 90 0
+contents: 1 1
+subsys: 1 1 1 1 0 20 20 0 0 40 40 0 0
+instname: d0
+tempname: dff
+libname: USER_LIB
+subsys: 1 1 1 1 0 420 20 400 0 440 40 0 0
+instname: d5
+tempname: dff
+libname: USER_LIB
+subsys: 1 1 1 1 0 115 80 100 70 130 90 0 0
+instname: b1
+tempname: buf
+libname: USER_LIB
+subsys: 1 1 1 1 0 185 80 170 70 200 90 0 0
+instname: i2
+tempname: inv
+libname: USER_LIB
+subsys: 1 1 1 1 0 255 80 240 70 270 90 0 0
+instname: b3
+tempname: buf
+libname: USER_LIB
+subsys: 0 1 1 1 0 325 80 310 70 340 90 0 0
+instname: i4
+tempname: inv
+libname: USER_LIB
+node: 1 0 2 1 0 1 -40 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: din
+node: 1 0 0 1 0 1 130 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n2
+node: 1 0 0 1 0 1 170 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n2
+node: 1 0 0 1 0 1 200 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n3
+node: 1 0 0 1 0 1 240 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n3
+node: 1 0 0 1 0 1 270 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n4
+node: 1 0 0 1 0 1 310 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n4
+node: 1 0 0 1 0 1 -40 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n_in
+node: 1 0 0 1 0 1 0 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_in
+node: 1 0 0 1 0 1 40 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 50 0 0 0 3
+oname: n1
+node: 1 0 0 1 0 1 90 20 0 0 0 60 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n1
+node: 1 0 0 1 0 1 90 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n1
+node: 1 0 0 1 0 1 100 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n1
+node: 1 0 0 1 0 1 340 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 50 0 0 0 3
+oname: n5
+node: 1 0 0 1 0 1 390 20 0 0 0 60 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n5
+node: 1 0 0 1 0 1 390 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n5
+node: 0 0 0 1 0 1 400 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n5

@@ -1,0 +1,92 @@
+#TUE-ES-871
+temp: 0 1 0 1 1
+tname: accumulator
+lname: USER_LIB
+repr: 0 0 0 0 -10 360 130 0
+contents: 1 1
+subsys: 1 1 1 1 0 45 95 20 70 70 120 0 0
+instname: operand
+tempname: register
+libname: USER_LIB
+subsys: 1 1 1 1 0 150 80 120 50 180 110 0 0
+instname: alu
+tempname: alu
+libname: USER_LIB
+subsys: 1 1 1 1 0 240 90 220 70 260 110 0 0
+instname: writeback
+tempname: mux2
+libname: USER_LIB
+subsys: 1 1 1 1 0 325 95 300 70 350 120 0 0
+instname: acc
+tempname: register
+libname: USER_LIB
+subsys: 0 1 1 1 0 215 20 200 10 230 30 0 0
+instname: out_buf
+tempname: buf
+libname: USER_LIB
+node: 1 0 2 1 0 1 140 130 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: load
+node: 1 0 2 1 0 1 10 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: data_in
+node: 1 0 2 1 0 1 230 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: result
+node: 1 0 0 1 0 1 10 80 0 0 0 10 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_data
+node: 1 0 0 1 0 1 10 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n_data
+node: 1 0 0 1 0 1 20 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_data
+node: 1 0 0 1 0 1 230 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n_out
+node: 1 0 0 1 0 1 230 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n_out
+node: 1 0 0 1 0 1 240 0 0 0 0 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_out
+node: 1 0 0 1 0 1 240 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_out
+node: 1 0 0 1 0 1 260 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n_wb
+node: 1 0 0 1 0 1 300 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_wb
+node: 1 0 0 1 0 1 70 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 50 0 0 0 3
+oname: n_b
+node: 1 0 0 1 0 1 120 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_b
+node: 1 0 0 1 0 1 180 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n_alu
+node: 1 0 0 1 0 1 190 20 0 0 0 60 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n_alu
+node: 1 0 0 1 0 1 190 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_alu
+node: 1 0 0 1 0 1 200 20 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_alu
+node: 1 0 0 1 0 1 220 80 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_alu
+node: 1 0 0 1 0 1 110 -10 0 0 0 80 0 0 0 0 0 0 0 0 0 0 0 250 0 0 0 3
+oname: n_a
+node: 1 0 0 1 0 1 110 70 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n_a
+node: 1 0 0 1 0 1 120 70 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_a
+node: 1 0 0 1 0 1 350 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 10 0 0 0 3
+oname: n_a
+node: 1 0 0 1 0 1 360 -10 0 0 0 100 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_a
+node: 1 0 0 1 0 1 360 90 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_a
+node: 1 0 0 1 0 1 0 60 0 0 0 70 0 0 0 0 0 0 0 0 0 0 0 40 0 0 0 3
+oname: n_load
+node: 1 0 0 1 0 1 0 130 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 140 0 0 0 3
+oname: n_load
+node: 1 0 0 1 0 1 40 40 0 0 0 20 0 0 0 0 0 0 0 0 0 0 0 200 0 0 0 3
+oname: n_load
+node: 1 0 0 1 0 1 40 60 0 0 0 10 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_load
+node: 1 0 0 1 0 1 40 70 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_load
+node: 1 0 0 1 0 1 140 130 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_load
+node: 1 0 0 1 0 1 240 40 0 0 0 30 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_load
+node: 0 0 0 1 0 1 240 70 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3
+oname: n_load

@@ -1,0 +1,83 @@
+"""repro — From Network to Artwork (Koster & Stok, 1989).
+
+Automatic schematic diagram generation: PABLO placement, EUREKA
+line-expansion routing, file formats, rendering, baselines and a logic
+simulator for validating routed diagrams.
+
+Quickstart::
+
+    from repro import generate, example2_controller, PabloOptions
+    result = generate(example2_controller(), PabloOptions(partition_size=5))
+    print(result.metrics)
+"""
+
+from .core import (
+    Diagram,
+    DiagramMetrics,
+    Module,
+    Net,
+    NetlistError,
+    Network,
+    Pin,
+    Point,
+    Rect,
+    Rotation,
+    Side,
+    SystemTerminal,
+    Terminal,
+    TermType,
+    check_diagram,
+    diagram_metrics,
+    extract_connectivity,
+)
+from .core.generator import GenerationResult, generate, route_placed
+from .editor import Editor, EditorError
+from .place import PabloOptions, PlacementReport, place_network
+from .route import CostOrder, RouterOptions, RoutingReport, route_diagram
+from .workloads import (
+    example1_string,
+    example2_controller,
+    hand_placement,
+    life_network,
+    random_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Diagram",
+    "DiagramMetrics",
+    "Module",
+    "Net",
+    "NetlistError",
+    "Network",
+    "Pin",
+    "Point",
+    "Rect",
+    "Rotation",
+    "Side",
+    "SystemTerminal",
+    "Terminal",
+    "TermType",
+    "check_diagram",
+    "diagram_metrics",
+    "extract_connectivity",
+    "GenerationResult",
+    "generate",
+    "route_placed",
+    "Editor",
+    "EditorError",
+    "PabloOptions",
+    "PlacementReport",
+    "place_network",
+    "CostOrder",
+    "RouterOptions",
+    "RoutingReport",
+    "route_diagram",
+    "example1_string",
+    "example2_controller",
+    "hand_placement",
+    "life_network",
+    "random_network",
+    "__version__",
+]

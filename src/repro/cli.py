@@ -1,0 +1,189 @@
+"""Command-line front ends: ``pablo``, ``eureka``, ``quinto``, ``artwork``.
+
+These mirror the paper's programs (Appendices B, E and F):
+
+* ``pablo``   — place a network described by net-list/call/io files,
+* ``eureka``  — route a placed diagram (ESCHER file) against a net-list,
+* ``quinto``  — add a module description to a library directory,
+* ``artwork`` — the whole pipeline: network files in, SVG/ESCHER out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+from .core.generator import generate
+from .core.metrics import diagram_metrics
+from .core.netlist import Network
+from .formats.escher import load_escher, save_escher
+from .formats.library import ModuleLibrary
+from .formats.module_desc import parse_module_description, write_module_description
+from .formats.netlist_files import load_network_files
+from .core.geometry import Side
+from .place.pablo import PabloOptions, place_network
+from .render.svg import save_svg
+from .route.eureka import RouterOptions, route_diagram
+from .route.line_expansion import CostOrder
+
+
+def _library(path: str | None) -> ModuleLibrary:
+    if path is None:
+        return ModuleLibrary.standard()
+    return ModuleLibrary.load(path)
+
+
+def _load_network(args: argparse.Namespace) -> Network:
+    return load_network_files(
+        args.netlist, args.call, args.io, library=_library(args.library)
+    )
+
+
+def _network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("netlist", help="net-list-file (Appendix A)")
+    parser.add_argument("call", help="call-file (instances and templates)")
+    parser.add_argument("io", nargs="?", default=None, help="io-file (system terminals)")
+    parser.add_argument("--library", help="module library directory (default: built-in)")
+
+
+def _pablo_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-p", type=int, default=1, help="max modules per partition")
+    parser.add_argument("-b", type=int, default=1, help="max modules per box (string)")
+    parser.add_argument("-c", type=float, default=math.inf, help="max outgoing nets per partition")
+    parser.add_argument("-e", type=int, default=0, help="extra tracks around partitions")
+    parser.add_argument("-i", type=int, default=0, help="extra tracks around boxes")
+    parser.add_argument("-s", type=int, default=0, dest="module_space", help="extra tracks around modules")
+
+
+def _pablo_options(args: argparse.Namespace) -> PabloOptions:
+    return PabloOptions(
+        partition_size=args.p,
+        box_size=args.b,
+        max_connections=args.c,
+        partition_spacing=args.e,
+        box_spacing=args.i,
+        module_extra_space=args.module_space,
+    )
+
+
+def _eureka_args(parser: argparse.ArgumentParser, *, short_swap: bool = True) -> None:
+    parser.add_argument("-u", action="store_true", help="pin the upper plane border")
+    parser.add_argument("-d", action="store_true", help="pin the lower plane border")
+    parser.add_argument("-r", action="store_true", help="pin the right plane border")
+    parser.add_argument("-l", action="store_true", help="pin the left plane border")
+    # ``artwork`` combines both programs, where PABLO already owns -s.
+    swap_flags = ["-s", "--swap"] if short_swap else ["--swap"]
+    parser.add_argument(
+        *swap_flags,
+        action="store_true",
+        dest="swap",
+        help="tie-break minimum-bend paths on length before crossings",
+    )
+    parser.add_argument("--no-claims", action="store_true", help="disable claimpoints")
+    parser.add_argument("--margin", type=int, default=4, help="routing border margin")
+
+
+def _eureka_options(args: argparse.Namespace) -> RouterOptions:
+    fixed = set()
+    if args.u:
+        fixed.add(Side.UP)
+    if args.d:
+        fixed.add(Side.DOWN)
+    if args.r:
+        fixed.add(Side.RIGHT)
+    if args.l:
+        fixed.add(Side.LEFT)
+    order = (
+        CostOrder.BENDS_LENGTH_CROSSINGS if args.swap else CostOrder.BENDS_CROSSINGS_LENGTH
+    )
+    return RouterOptions(
+        claimpoints=not args.no_claims,
+        cost_order=order,
+        margin=args.margin,
+        fixed_sides=frozenset(fixed),
+    )
+
+
+def _report(diagram) -> None:
+    metrics = diagram_metrics(diagram)
+    print(
+        f"nets routed: {metrics.nets_routed}/{metrics.nets_total}  "
+        f"length={metrics.length} bends={metrics.bends} "
+        f"crossovers={metrics.crossovers} branch_nodes={metrics.branch_nodes}"
+    )
+
+
+def pablo_main(argv: list[str] | None = None) -> int:
+    """Place a network and write the placed diagram as an ESCHER file."""
+    parser = argparse.ArgumentParser(prog="pablo", description=pablo_main.__doc__)
+    _network_args(parser)
+    _pablo_args(parser)
+    parser.add_argument("-o", "--output", default="placed.es", help="output ESCHER file")
+    args = parser.parse_args(argv)
+    network = _load_network(args)
+    diagram, report = place_network(network, _pablo_options(args))
+    save_escher(diagram, args.output)
+    print(
+        f"placed {len(diagram.placements)} modules in "
+        f"{report.partition_count} partitions / {report.box_count} boxes "
+        f"({report.seconds:.2f}s) -> {args.output}"
+    )
+    return 0
+
+
+def eureka_main(argv: list[str] | None = None) -> int:
+    """Route the unrouted nets of a placed ESCHER diagram."""
+    parser = argparse.ArgumentParser(prog="eureka", description=eureka_main.__doc__)
+    parser.add_argument("graphic", help="placed diagram (ESCHER file)")
+    _network_args(parser)
+    _eureka_args(parser)
+    parser.add_argument("-o", "--output", default="routed.es", help="output ESCHER file")
+    args = parser.parse_args(argv)
+    network = _load_network(args)
+    diagram = load_escher(args.graphic, network)
+    report = route_diagram(diagram, _eureka_options(args))
+    for name in report.failed_nets:
+        print(f"warning: net {name!r} is unroutable", file=sys.stderr)
+    save_escher(diagram, args.output)
+    _report(diagram)
+    return 0 if not report.failed_nets else 1
+
+
+def quinto_main(argv: list[str] | None = None) -> int:
+    """Add a module description (Appendix B) to a library directory."""
+    parser = argparse.ArgumentParser(prog="quinto", description=quinto_main.__doc__)
+    parser.add_argument("file", help="module description file")
+    parser.add_argument("--library", default="user_lib", help="library directory")
+    args = parser.parse_args(argv)
+    module = parse_module_description(Path(args.file).read_text())
+    directory = Path(args.library)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = directory / f"{module.template}{ModuleLibrary.SUFFIX}"
+    out.write_text(write_module_description(module))
+    print(f"added template {module.template!r} -> {out}")
+    return 0
+
+
+def artwork_main(argv: list[str] | None = None) -> int:
+    """The full generator: network files in, routed SVG + ESCHER out."""
+    parser = argparse.ArgumentParser(prog="artwork", description=artwork_main.__doc__)
+    _network_args(parser)
+    _pablo_args(parser)
+    _eureka_args(parser, short_swap=False)
+    parser.add_argument("-o", "--output", default="artwork.svg", help="output SVG")
+    parser.add_argument("--escher", help="also write an ESCHER file here")
+    args = parser.parse_args(argv)
+    network = _load_network(args)
+    result = generate(network, _pablo_options(args), _eureka_options(args))
+    save_svg(result.diagram, args.output)
+    if args.escher:
+        save_escher(result.diagram, args.escher)
+    _report(result.diagram)
+    print(f"wrote {args.output}")
+    return 0 if not result.routing.failed_nets else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(artwork_main())

@@ -1,0 +1,69 @@
+"""The automatic schematic diagram generator (figure 3.2).
+
+``generate`` is the whole pipeline: PABLO placement followed by EUREKA
+routing, returning the finished diagram together with the reports and
+quality metrics the experiments tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..place.pablo import PabloOptions, PlacementReport, place_network
+from ..route.eureka import RouterOptions, RoutingReport, route_diagram
+from .diagram import Diagram
+from .metrics import DiagramMetrics, diagram_metrics
+from .netlist import Network
+
+
+@dataclass
+class GenerationResult:
+    """Everything one generator run produced."""
+
+    diagram: Diagram
+    placement: PlacementReport
+    routing: RoutingReport
+    metrics: DiagramMetrics
+
+    @property
+    def timing_row(self) -> dict[str, float | int]:
+        """One row of Table 6.1: module/net counts and phase times."""
+        return {
+            "modules": len(self.diagram.network.modules),
+            "nets": self.metrics.nets_total,
+            "placement_seconds": round(self.placement.seconds, 3),
+            "routing_seconds": round(self.routing.seconds, 3),
+        }
+
+
+def generate(
+    network: Network,
+    pablo: PabloOptions | None = None,
+    eureka: RouterOptions | None = None,
+    *,
+    preplaced: Diagram | None = None,
+) -> GenerationResult:
+    """Run placement then routing on a network description."""
+    network.validate()
+    diagram, placement_report = place_network(network, pablo, preplaced=preplaced)
+    routing_report = route_diagram(diagram, eureka)
+    return GenerationResult(
+        diagram=diagram,
+        placement=placement_report,
+        routing=routing_report,
+        metrics=diagram_metrics(diagram),
+    )
+
+
+def route_placed(
+    diagram: Diagram, eureka: RouterOptions | None = None
+) -> GenerationResult:
+    """Routing-only run over an existing (hand or tool) placement — the
+    figure 6.5/6.6 flow."""
+    routing_report = route_diagram(diagram, eureka)
+    return GenerationResult(
+        diagram=diagram,
+        placement=PlacementReport(),
+        routing=routing_report,
+        metrics=diagram_metrics(diagram),
+    )

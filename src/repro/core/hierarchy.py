@@ -1,0 +1,230 @@
+"""Hierarchical network descriptions.
+
+The paper's problem statement (section 3.2): "A network consists of
+modules and interconnections.  Each module contains an internal
+description consisting of submodules and interconnections."  The
+generator itself draws one level at a time, but the surrounding system
+(ESCHER's templates with ``contents``) is hierarchical.
+
+This module provides that substrate: a :class:`HierarchicalDesign` maps
+template names to :class:`TemplateDefinition` s — a leaf symbol or a body
+of submodule instances and internal nets with port bindings — and can
+
+* ``elaborate`` any template into a flat :class:`Network` (for the
+  generator and the simulator), and
+* ``network_of`` a template's *own* level (its direct submodules only),
+  which is exactly what the generator draws for that template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .netlist import Module, NetlistError, Network, Pin
+
+
+@dataclass(frozen=True)
+class PortBinding:
+    """Connects a port of the template to an internal net."""
+
+    port: str  # a terminal name of the template's symbol
+    net: str  # an internal net name
+
+
+@dataclass
+class TemplateDefinition:
+    """A template: a symbol plus (optionally) an internal description."""
+
+    symbol: Module
+    instances: dict[str, str] = field(default_factory=dict)  # instance -> template
+    internal_nets: dict[str, list[Pin]] = field(default_factory=dict)
+    port_bindings: list[PortBinding] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.symbol.template
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.instances
+
+    def add_instance(self, instance: str, template: str) -> None:
+        if instance in self.instances:
+            raise NetlistError(f"duplicate instance {instance!r} in {self.name!r}")
+        self.instances[instance] = template
+
+    def connect(self, net: str, *pins: Pin | str) -> None:
+        bucket = self.internal_nets.setdefault(net, [])
+        for raw in pins:
+            pin = self._coerce(raw)
+            if pin not in bucket:
+                bucket.append(pin)
+
+    def bind_port(self, port: str, net: str) -> None:
+        if port not in self.symbol.terminals:
+            raise NetlistError(f"{self.name!r} has no port {port!r}")
+        self.port_bindings.append(PortBinding(port, net))
+        self.internal_nets.setdefault(net, [])
+
+    @staticmethod
+    def _coerce(raw: Pin | str) -> Pin:
+        if isinstance(raw, Pin):
+            return raw
+        module, _, terminal = raw.partition(".")
+        if not terminal:
+            raise NetlistError(f"internal pins must be 'instance.terminal': {raw!r}")
+        return Pin(module, terminal)
+
+
+class HierarchicalDesign:
+    """A library of template definitions with an elaborator."""
+
+    def __init__(self) -> None:
+        self._templates: dict[str, TemplateDefinition] = {}
+
+    def define(self, definition: TemplateDefinition) -> TemplateDefinition:
+        if definition.name in self._templates:
+            raise NetlistError(f"template {definition.name!r} already defined")
+        self._templates[definition.name] = definition
+        return definition
+
+    def define_leaf(self, symbol: Module) -> TemplateDefinition:
+        return self.define(TemplateDefinition(symbol=symbol))
+
+    def template(self, name: str) -> TemplateDefinition:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise NetlistError(f"unknown template {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._templates
+
+    # -- single level -----------------------------------------------------
+
+    def network_of(self, name: str) -> Network:
+        """The network of one template's own level: its direct submodule
+        instances, its internal nets, and its ports as system terminals —
+        the input the generator draws for that template."""
+        definition = self.template(name)
+        network = Network(name=name)
+        for instance, template in definition.instances.items():
+            symbol = self.template(template).symbol
+            network.add_module(
+                Module(
+                    name=instance,
+                    width=symbol.width,
+                    height=symbol.height,
+                    terminals=dict(symbol.terminals),
+                    template=symbol.template,
+                )
+            )
+        bound_ports = {b.port: b.net for b in definition.port_bindings}
+        for port, term in definition.symbol.terminals.items():
+            if port in bound_ports:
+                network.add_system_terminal(port, term.type)
+        for net, pins in definition.internal_nets.items():
+            for pin in pins:
+                network.connect(net, pin)
+        for binding in definition.port_bindings:
+            network.connect(binding.net, Pin(None, binding.port))
+        return network
+
+    # -- full elaboration -------------------------------------------------
+
+    def elaborate(self, name: str) -> Network:
+        """Flatten a template into a single-level :class:`Network` of leaf
+        instances (named ``a/b/c`` by hierarchy path).  The top template's
+        bound ports become the network's system terminals."""
+        definition = self.template(name)
+        network = Network(name=f"{name}_flat")
+        for port, term in definition.symbol.terminals.items():
+            if any(b.port == port for b in definition.port_bindings):
+                network.add_system_terminal(port, term.type)
+
+        # net alias resolution: hierarchical net id -> canonical id
+        parent: dict[str, str] = {}
+
+        def find(x: str) -> str:
+            while parent.get(x, x) != x:
+                parent[x] = parent.get(parent[x], parent[x])
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        leaf_pins: list[tuple[str, Pin]] = []  # (hierarchical net id, pin)
+
+        def walk(defn: TemplateDefinition, path: str, port_env: dict[str, str]) -> None:
+            """``port_env`` maps this template's port names to the parent's
+            hierarchical net ids."""
+            local = {net: f"{path}/{net}" if path else net for net in defn.internal_nets}
+            for binding in defn.port_bindings:
+                union(local[binding.net], port_env[binding.port])
+            for net, pins in defn.internal_nets.items():
+                for pin in pins:
+                    instance = pin.module or ""
+                    sub_name = defn.instances.get(instance)
+                    if sub_name is None:
+                        raise NetlistError(
+                            f"{defn.name!r} connects unknown instance {instance!r}"
+                        )
+                    sub = self.template(sub_name)
+                    inst_path = f"{path}/{instance}" if path else instance
+                    if sub.is_leaf:
+                        leaf_pins.append((local[net], Pin(inst_path, pin.terminal)))
+                    else:
+                        # Descend later; remember the port wiring now.
+                        pending.setdefault(inst_path, (sub, {}))[1][pin.terminal] = local[net]
+
+            for instance, sub_name in defn.instances.items():
+                sub = self.template(sub_name)
+                inst_path = f"{path}/{instance}" if path else instance
+                if sub.is_leaf:
+                    symbol = sub.symbol
+                    network.add_module(
+                        Module(
+                            name=inst_path,
+                            width=symbol.width,
+                            height=symbol.height,
+                            terminals=dict(symbol.terminals),
+                            template=symbol.template,
+                        )
+                    )
+                else:
+                    sub_def, env = pending.get(inst_path, (sub, {}))
+                    # Unbound ports get fresh (dangling) hierarchical nets.
+                    full_env = {
+                        b.port: env.get(b.port, f"{inst_path}:{b.port}")
+                        for b in sub_def.port_bindings
+                    }
+                    walk(sub_def, inst_path, full_env)
+
+        pending: dict[str, tuple[TemplateDefinition, dict[str, str]]] = {}
+        top_env = {b.port: f":{b.port}" for b in definition.port_bindings}
+        walk(definition, "", top_env)
+
+        # Materialise: canonical net id -> flat net name.
+        flat_names: dict[str, str] = {}
+        for port in network.system_terminals:
+            flat_names[find(f":{port}")] = f"n_{port}"
+            network.connect(f"n_{port}", Pin(None, port))
+        counter = 0
+        for net_id, pin in leaf_pins:
+            root = find(net_id)
+            name_ = flat_names.get(root)
+            if name_ is None:
+                name_ = f"n{counter}"
+                counter += 1
+                flat_names[root] = name_
+            network.connect(name_, pin)
+        _drop_single_pin_nets(network)
+        return network
+
+
+def _drop_single_pin_nets(network: Network) -> None:
+    for name in [n for n, obj in network.nets.items() if len(obj.pins) < 2]:
+        del network.nets[name]

@@ -1,0 +1,123 @@
+"""Quality metrics for schematic diagrams.
+
+The paper's readability objectives (section 3.2, rules 5 and 6) are
+quantified here: total path length, number of bends, number of crossovers
+between different nets, and number of branching nodes.  These are the
+numbers the placement/routing experiments report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping
+
+from .diagram import Diagram, RoutedNet
+from .geometry import Orientation, Point, path_segments
+
+
+@dataclass(frozen=True)
+class NetMetrics:
+    """Per-net quality numbers."""
+
+    length: int
+    bends: int
+    branch_nodes: int
+
+
+@dataclass(frozen=True)
+class DiagramMetrics:
+    """Whole-diagram quality numbers."""
+
+    nets_total: int
+    nets_routed: int
+    nets_failed: int
+    length: int
+    bends: int
+    crossovers: int
+    branch_nodes: int
+
+    def as_row(self) -> Mapping[str, int]:
+        return {
+            "nets": self.nets_total,
+            "routed": self.nets_routed,
+            "failed": self.nets_failed,
+            "length": self.length,
+            "bends": self.bends,
+            "crossovers": self.crossovers,
+            "branch_nodes": self.branch_nodes,
+        }
+
+
+def net_branch_nodes(route: RoutedNet) -> int:
+    """Points of the net tree where three or more wire arms meet."""
+    neighbours: dict[Point, set[Point]] = defaultdict(set)
+    for path in route.paths:
+        for seg in path_segments(path):
+            pts = list(seg.points())
+            for a, b in zip(pts, pts[1:]):
+                neighbours[a].add(b)
+                neighbours[b].add(a)
+    return sum(1 for adj in neighbours.values() if len(adj) >= 3)
+
+
+def net_metrics(route: RoutedNet) -> NetMetrics:
+    return NetMetrics(
+        length=route.length,
+        bends=route.bends,
+        branch_nodes=net_branch_nodes(route),
+    )
+
+
+def _net_usage(
+    diagram: Diagram,
+) -> dict[Point, dict[str, set[Orientation]]]:
+    """For every grid point, which nets run through it and in which
+    orientation(s).  Single-point paths register with no orientation."""
+    usage: dict[Point, dict[str, set[Orientation]]] = defaultdict(dict)
+    for name, route in diagram.routes.items():
+        for path in route.paths:
+            if len(path) == 1:
+                usage[path[0]].setdefault(name, set())
+            for seg in path_segments(path):
+                for p in seg.points():
+                    usage[p].setdefault(name, set()).add(seg.orientation)
+    return usage
+
+
+def count_crossovers(diagram: Diagram) -> int:
+    """Number of points where two different nets cross each other.
+
+    Every unordered pair of distinct nets sharing a grid point counts as
+    one crossover at that point.
+    """
+    crossings = 0
+    for nets in _net_usage(diagram).values():
+        k = len(nets)
+        if k >= 2:
+            crossings += k * (k - 1) // 2
+    return crossings
+
+
+def diagram_metrics(diagram: Diagram) -> DiagramMetrics:
+    multi_pin = [n for n in diagram.network.nets.values() if len(n.pins) >= 2]
+    routed = sum(
+        1
+        for n in multi_pin
+        if n.name in diagram.routes and diagram.routes[n.name].complete
+    )
+    length = bends = branches = 0
+    for route in diagram.routes.values():
+        m = net_metrics(route)
+        length += m.length
+        bends += m.bends
+        branches += m.branch_nodes
+    return DiagramMetrics(
+        nets_total=len(multi_pin),
+        nets_routed=routed,
+        nets_failed=len(multi_pin) - routed,
+        length=length,
+        bends=bends,
+        crossovers=count_crossovers(diagram),
+        branch_nodes=branches,
+    )

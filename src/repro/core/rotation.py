@@ -1,0 +1,65 @@
+"""Module rotations.
+
+The placement rotates modules in multiples of 90 degrees so that the
+terminal connecting a module to its predecessor in a string faces left
+(section 4.6.4).  A rotation maps local terminal offsets and sides into
+the rotated frame; the rotated module keeps its lower-left corner at the
+local origin.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .geometry import Point, Side
+
+
+class Rotation(enum.Enum):
+    """Counterclockwise rotation applied to a module symbol."""
+
+    R0 = 0
+    R90 = 90
+    R180 = 180
+    R270 = 270
+
+    def compose(self, other: "Rotation") -> "Rotation":
+        return Rotation((self.value + other.value) % 360)
+
+    @property
+    def inverse(self) -> "Rotation":
+        return Rotation((360 - self.value) % 360)
+
+    @property
+    def swaps_axes(self) -> bool:
+        return self in (Rotation.R90, Rotation.R270)
+
+    def size(self, width: int, height: int) -> tuple[int, int]:
+        """Size of the module's bounding box after rotation."""
+        if self.swaps_axes:
+            return (height, width)
+        return (width, height)
+
+    def apply(self, offset: Point, width: int, height: int) -> Point:
+        """Map a local offset on an unrotated ``width x height`` module to
+        its offset on the rotated module (lower-left corner fixed at 0,0)."""
+        x, y = offset
+        if self is Rotation.R0:
+            return Point(x, y)
+        if self is Rotation.R90:
+            return Point(height - y, x)
+        if self is Rotation.R180:
+            return Point(width - x, height - y)
+        return Point(y, width - x)  # R270
+
+    def side(self, side: Side) -> Side:
+        """The module side that ``side`` becomes after rotation."""
+        order = [Side.LEFT, Side.DOWN, Side.RIGHT, Side.UP]  # CCW cycle
+        steps = self.value // 90
+        return order[(order.index(side) + steps) % 4]
+
+    @staticmethod
+    def taking(side: Side, to: Side) -> "Rotation":
+        """The rotation that maps module side ``side`` onto side ``to``."""
+        order = [Side.LEFT, Side.DOWN, Side.RIGHT, Side.UP]
+        steps = (order.index(to) - order.index(side)) % 4
+        return Rotation(steps * 90)

@@ -1,0 +1,226 @@
+"""Diagram legality checking and connectivity extraction.
+
+Implements the postcondition of section 3.2:
+
+* no module symbol or net path overlaps another module symbol or net path,
+* a system terminal does not overlap a module or another system terminal,
+* different nets only share pure crossing points,
+
+plus the validation step the paper performed with the ESCHER+ simulator:
+rebuilding the electrical connectivity from the routed geometry and
+checking it equals the input net-list.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .diagram import Diagram
+from .geometry import Orientation, Point, path_segments
+from .netlist import Pin
+
+
+class DiagramViolation(AssertionError):
+    """Raised by :func:`check_diagram` when a diagram breaks the rules."""
+
+
+def _net_geometry(diagram: Diagram):
+    """Per net: covered points with orientations, and node points
+    (path endpoints, bends and branch points block other nets there)."""
+    covered: dict[str, dict[Point, set[Orientation]]] = {}
+    nodes: dict[str, set[Point]] = {}
+    for name, route in diagram.routes.items():
+        pts: dict[Point, set[Orientation]] = defaultdict(set)
+        node_set: set[Point] = set()
+        for path in route.paths:
+            if len(path) >= 1:
+                node_set.add(path[0])
+                node_set.add(path[-1])
+            for vertex in path[1:-1]:
+                node_set.add(vertex)  # normalized paths bend at every vertex
+            for seg in path_segments(path):
+                for p in seg.points():
+                    pts[p].add(seg.orientation)
+            if len(path) == 1:
+                pts[path[0]]  # register the point with no orientation
+        covered[name] = dict(pts)
+        nodes[name] = node_set
+    return covered, nodes
+
+
+def placement_violations(diagram: Diagram) -> list[str]:
+    """Rule violations of the placement alone (ignores routes)."""
+    problems: list[str] = []
+    placed = list(diagram.placements.values())
+    for i, a in enumerate(placed):
+        for b in placed[i + 1 :]:
+            if a.rect.overlaps(b.rect):
+                problems.append(
+                    f"modules {a.name!r} and {b.name!r} overlap "
+                    f"({a.rect} vs {b.rect})"
+                )
+    seen_terms: dict[Point, str] = {}
+    for name, pos in diagram.terminal_positions.items():
+        if pos in seen_terms:
+            problems.append(
+                f"system terminals {seen_terms[pos]!r} and {name!r} overlap at {pos}"
+            )
+        seen_terms[pos] = name
+        for pm in placed:
+            if pm.rect.contains(pos):
+                problems.append(
+                    f"system terminal {name!r} at {pos} overlaps module {pm.name!r}"
+                )
+    return problems
+
+
+def routing_violations(diagram: Diagram) -> list[str]:
+    """Rule violations of the routed nets."""
+    problems: list[str] = []
+    covered, nodes = _net_geometry(diagram)
+
+    own_touchpoints: dict[str, set[Point]] = {}
+    for name in covered:
+        net = diagram.network.nets[name]
+        own_touchpoints[name] = {diagram.pin_position(p) for p in net.pins}
+
+    rects = diagram.module_rects()
+    terminal_points = {
+        pos: name for name, pos in diagram.terminal_positions.items()
+    }
+    for name, pts in covered.items():
+        net = diagram.network.nets[name]
+        allowed = own_touchpoints[name]
+        net_system_terms = {p.terminal for p in net.system_pins}
+        for p in pts:
+            for mod_name, rect in rects.items():
+                if rect.contains(p, strict=True):
+                    problems.append(f"net {name!r} runs inside module {mod_name!r} at {p}")
+                elif rect.contains(p) and p not in allowed:
+                    problems.append(
+                        f"net {name!r} touches module {mod_name!r} border at {p} "
+                        "which is not one of its terminals"
+                    )
+            term = terminal_points.get(p)
+            if term is not None and term not in net_system_terms:
+                problems.append(
+                    f"net {name!r} overlaps foreign system terminal {term!r} at {p}"
+                )
+
+    names = sorted(covered)
+    point_to_nets: dict[Point, list[str]] = defaultdict(list)
+    for name in names:
+        for p in covered[name]:
+            point_to_nets[p].append(name)
+    for p, here in point_to_nets.items():
+        if len(here) < 2:
+            continue
+        for i, a in enumerate(here):
+            for b in here[i + 1 :]:
+                ori_a, ori_b = covered[a][p], covered[b][p]
+                pure_cross = (
+                    len(ori_a) == 1
+                    and len(ori_b) == 1
+                    and ori_a != ori_b
+                    and p not in nodes[a]
+                    and p not in nodes[b]
+                )
+                if not pure_cross:
+                    problems.append(
+                        f"nets {a!r} and {b!r} overlap at {p} (not a pure crossing)"
+                    )
+    return problems
+
+
+def connectivity_violations(diagram: Diagram) -> list[str]:
+    """Check each routed net is one connected tree touching all its pins
+    (this is what simulating the diagram would reveal)."""
+    problems: list[str] = []
+    for name, route in diagram.routes.items():
+        net = diagram.network.nets[name]
+        if route.failed_pins:
+            continue  # incompleteness is reported by metrics, not here
+        pts = route.points()
+        if not pts and len(net.pins) >= 2:
+            positions = {diagram.pin_position(p) for p in net.pins}
+            if len(positions) > 1:
+                problems.append(f"net {name!r} has no geometry but {len(net.pins)} pins")
+            continue
+        for pin in net.pins:
+            if diagram.pin_position(pin) not in pts:
+                problems.append(f"net {name!r} does not reach pin {pin}")
+        if pts and not _is_connected(pts):
+            problems.append(f"net {name!r} geometry is disconnected")
+    return problems
+
+
+def _is_connected(points: set[Point]) -> bool:
+    if not points:
+        return True
+    start = next(iter(points))
+    seen = {start}
+    stack = [start]
+    while stack:
+        p = stack.pop()
+        for q in (
+            Point(p.x + 1, p.y),
+            Point(p.x - 1, p.y),
+            Point(p.x, p.y + 1),
+            Point(p.x, p.y - 1),
+        ):
+            if q in points and q not in seen:
+                seen.add(q)
+                stack.append(q)
+    return seen == points
+
+
+def check_diagram(diagram: Diagram, *, routed: bool = True) -> None:
+    """Raise :class:`DiagramViolation` on any rule break."""
+    problems = placement_violations(diagram)
+    if routed:
+        problems += routing_violations(diagram)
+        problems += connectivity_violations(diagram)
+    if problems:
+        raise DiagramViolation("; ".join(problems[:20]))
+
+
+def extract_connectivity(diagram: Diagram) -> dict[Pin, str]:
+    """Rebuild pin→net connectivity from routed geometry alone.
+
+    This is the reproduction of the paper's ESCHER+ check: the generator's
+    output is electrically correct iff this mapping equals the net-list.
+    Pins of unrouted or two-pin-degenerate nets are absent from the map.
+    """
+    mapping: dict[Pin, str] = {}
+    geometry = {name: route.points() for name, route in diagram.routes.items()}
+    all_pins: list[Pin] = [
+        pin for net in diagram.network.nets.values() for pin in net.pins
+    ]
+    for pin in all_pins:
+        pos = diagram.pin_position(pin)
+        touching = [name for name, pts in geometry.items() if pos in pts]
+        if len(touching) == 1:
+            mapping[pin] = touching[0]
+        elif len(touching) > 1:
+            # A pin touched by several nets is electrically ambiguous.
+            mapping[pin] = "<conflict>"
+    return mapping
+
+
+def connectivity_matches_netlist(diagram: Diagram, *, nets: Iterable[str] | None = None) -> bool:
+    """True iff extracted connectivity equals the net-list for the given
+    nets (default: all fully routed nets)."""
+    extracted = extract_connectivity(diagram)
+    if nets is None:
+        nets = [
+            name
+            for name, route in diagram.routes.items()
+            if route.complete and len(route.net.pins) >= 2
+        ]
+    for name in nets:
+        net = diagram.network.nets[name]
+        for pin in net.pins:
+            if extracted.get(pin) != name:
+                return False
+    return True

@@ -1,0 +1,36 @@
+"""File formats: net-lists (App. A), module descriptions (App. B),
+the module library (App. C) and ESCHER diagram files (App. D)."""
+
+from .netlist_files import (
+    build_network,
+    load_network_files,
+    parse_call_file,
+    parse_io_file,
+    parse_netlist_file,
+    save_network_files,
+    write_call_file,
+    write_io_file,
+    write_netlist_file,
+)
+from .module_desc import parse_module_description, write_module_description
+from .library import ModuleLibrary
+from .escher import load_escher, read_escher, save_escher, write_escher
+
+__all__ = [
+    "build_network",
+    "load_network_files",
+    "parse_call_file",
+    "parse_io_file",
+    "parse_netlist_file",
+    "save_network_files",
+    "write_call_file",
+    "write_io_file",
+    "write_netlist_file",
+    "parse_module_description",
+    "write_module_description",
+    "ModuleLibrary",
+    "load_escher",
+    "read_escher",
+    "save_escher",
+    "write_escher",
+]

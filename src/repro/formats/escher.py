@@ -1,0 +1,187 @@
+"""ESCHER-readable schematic diagram files (Appendix D).
+
+The generator's output had to be readable by the ESCHER schematic editor.
+We write the documented record structure: the ``#TUE-ES-871`` magic, a
+``temp:`` header with ``tname:``, a ``repr:`` bounding box, a
+``contents:`` section with one ``subsys:`` record per placed module
+(instname/tempname/libname, center, corners, orientation) and ``node:``
+records for system terminals and net geometry.
+
+Net geometry is stored the ESCHER way — as node points with per-direction
+arm lengths (fields b11/b15/b19/b23 of the ``node:`` record) — so a
+diagram round-trips geometrically: the covered points, modules and
+terminals are preserved exactly, while the decomposition of a net into
+paths is not (ESCHER has no such notion).  All coordinates are written
+multiplied by :data:`SCALE` = 10, matching the "divisible by 10" rule of
+the module format.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+
+from ..core.diagram import Diagram, DiagramError
+from ..core.geometry import Point, path_segments
+from ..core.netlist import Network
+from ..core.rotation import Rotation
+
+MAGIC = "#TUE-ES-871"
+SCALE = 10
+LIBNAME = "USER_LIB"
+
+_IO_NET = 3
+_ORIGIN_NET = 0
+_ORIGIN_CONTACT = 1
+_ORIGIN_TERMINAL = 2
+
+
+def write_escher(diagram: Diagram) -> str:
+    """Serialise a diagram to the ESCHER file format."""
+    out: list[str] = [MAGIC]
+    out.append("temp: 0 1 0 1 1")
+    out.append(f"tname: {diagram.network.name}")
+    out.append(f"lname: {LIBNAME}")
+    bbox = diagram.bounding_box()
+    out.append(
+        "repr: 0 0 0 "
+        f"{bbox.x * SCALE} {bbox.y * SCALE} {bbox.x2 * SCALE} {bbox.y2 * SCALE} 0"
+    )
+    out.append("contents: 1 1")
+
+    placements = list(diagram.placements.values())
+    for i, pm in enumerate(placements):
+        more = 1 if i + 1 < len(placements) else 0
+        rect = pm.rect
+        cx, cy = rect.center
+        out.append(
+            f"subsys: {more} 1 1 1 0 "
+            f"{int(cx * SCALE)} {int(cy * SCALE)} "
+            f"{rect.x * SCALE} {rect.y * SCALE} {rect.x2 * SCALE} {rect.y2 * SCALE} "
+            f"{pm.rotation.value // 90} 0"
+        )
+        out.append(f"instname: {pm.name}")
+        out.append(f"tempname: {pm.module.template}")
+        out.append(f"libname: {LIBNAME}")
+
+    nodes = _terminal_nodes(diagram) + _net_nodes(diagram)
+    for i, (point, origin, oname, arms) in enumerate(nodes):
+        more = 1 if i + 1 < len(nodes) else 0
+        up, down, left, right = (arm * SCALE for arm in arms)
+        fields = [
+            more,  # b0 next
+            0,  # b1 net-flag
+            origin,  # b2
+            1,  # b3 origin-name follows
+            0,  # b4 contact-name
+            1,  # b5 electric type
+            point.x * SCALE,
+            point.y * SCALE,  # b6 b7 position
+            0, 0, 0,  # b8..b10
+            up, 0, 0, 0,  # b11..b14
+            down, 0, 0, 0,  # b15..b18
+            left, 0, 0, 0,  # b19..b22
+            right, 0, 0, 0,  # b23..b26
+            _IO_NET,  # b27
+        ]
+        out.append("node: " + " ".join(str(f) for f in fields))
+        out.append(f"oname: {oname}")
+    return "\n".join(out) + "\n"
+
+
+def _terminal_nodes(diagram: Diagram):
+    return [
+        (pos, _ORIGIN_TERMINAL, name, (0, 0, 0, 0))
+        for name, pos in diagram.terminal_positions.items()
+    ]
+
+
+def _net_nodes(diagram: Diagram):
+    """One node per path vertex with arms toward the adjacent vertices.
+    To avoid storing each segment twice, only up/right arms are written."""
+    nodes = []
+    for name, route in diagram.routes.items():
+        arms: dict[Point, list[int]] = defaultdict(lambda: [0, 0, 0, 0])
+        for path in route.paths:
+            if len(path) == 1:
+                arms[path[0]]  # isolated point still registers
+            for seg in path_segments(path):
+                a, b = seg.p1, seg.p2
+                if seg.orientation.name == "HORIZONTAL":
+                    arms[a][3] = max(arms[a][3], b.x - a.x)  # right arm
+                    arms[b]
+                else:
+                    arms[a][0] = max(arms[a][0], b.y - a.y)  # up arm
+                    arms[b]
+        for point in sorted(arms):
+            up, down, left, right = arms[point]
+            nodes.append((point, _ORIGIN_NET, name, (up, down, left, right)))
+    return nodes
+
+
+def read_escher(text: str, network: Network) -> Diagram:
+    """Rebuild a diagram from an ESCHER file over a known network.
+
+    Paths are reconstructed segment-by-segment; covered geometry, module
+    placement and terminal positions are identical to what was written.
+    """
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != MAGIC:
+        raise DiagramError("not an ESCHER file (missing #TUE-ES-871 magic)")
+    diagram = Diagram(network)
+
+    pending_subsys: list[int] | None = None
+    pending_node: list[int] | None = None
+    instname: str | None = None
+    for raw in lines[1:]:
+        line = raw.strip()
+        if not line:
+            continue
+        key, _, rest = line.partition(":")
+        rest = rest.strip()
+        if key == "subsys":
+            pending_subsys = [int(f) for f in rest.split()]
+            instname = None
+        elif key == "instname":
+            instname = rest
+        elif key == "libname" and pending_subsys is not None and instname:
+            fields = pending_subsys
+            x1, y1 = fields[7] // SCALE, fields[8] // SCALE
+            rotation = Rotation((fields[11] % 4) * 90)
+            diagram.place_module(instname, Point(x1, y1), rotation)
+            pending_subsys = None
+        elif key == "node":
+            pending_node = [int(f) for f in rest.split()]
+        elif key == "oname" and pending_node is not None:
+            _apply_node(diagram, pending_node, rest)
+            pending_node = None
+    return diagram
+
+
+def _apply_node(diagram: Diagram, fields: list[int], oname: str) -> None:
+    origin = fields[2]
+    point = Point(fields[6] // SCALE, fields[7] // SCALE)
+    if origin == _ORIGIN_TERMINAL:
+        diagram.place_system_terminal(oname, point)
+        return
+    if origin != _ORIGIN_NET:
+        return
+    up, right = fields[11] // SCALE, fields[23] // SCALE
+    route = diagram.route_for(oname)
+    if up:
+        route.add_path([point, Point(point.x, point.y + up)])
+    if right:
+        route.add_path([point, Point(point.x + right, point.y)])
+    if not up and not right and not route.paths:
+        route.add_path([point])
+
+
+def save_escher(diagram: Diagram, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(write_escher(diagram))
+    return path
+
+
+def load_escher(path: str | Path, network: Network) -> Diagram:
+    return read_escher(Path(path).read_text(), network)

@@ -1,0 +1,104 @@
+"""The module library (Appendix C).
+
+The schematic editor and the generator take module symbols from a library
+of templates.  :class:`ModuleLibrary` holds templates in memory, can be
+seeded from the built-in standard library, extended from QUINTO module
+descriptions (the Appendix B flow), and persisted as a directory with one
+description file per template — mirroring the paper's USER_LIB directory
+convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..core.netlist import Module, NetlistError
+from .module_desc import parse_module_description, write_module_description
+
+
+class ModuleLibrary:
+    """A collection of module templates, instantiable by name.
+
+    The library object is callable with ``(template, instance)`` so it
+    plugs straight into :func:`repro.formats.netlist_files.build_network`.
+    """
+
+    def __init__(self, templates: Iterable[Module] = ()) -> None:
+        self._templates: dict[str, Module] = {}
+        for template in templates:
+            self.add(template)
+
+    # -- population ---------------------------------------------------
+
+    def add(self, template: Module) -> None:
+        if template.template in self._templates:
+            raise NetlistError(f"duplicate template {template.template!r}")
+        self._templates[template.template] = template
+
+    def add_description(self, text: str) -> Module:
+        """QUINTO: add a template from an Appendix B description."""
+        template = parse_module_description(text)
+        self.add(template)
+        return template
+
+    @classmethod
+    def standard(cls) -> "ModuleLibrary":
+        """The built-in standard template set."""
+        from ..workloads.stdlib import TEMPLATES
+
+        return cls(factory(name) for name, factory in TEMPLATES.items())
+
+    # -- access ---------------------------------------------------------
+
+    def __contains__(self, template: str) -> bool:
+        return template in self._templates
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._templates))
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def template(self, name: str) -> Module:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise NetlistError(f"template {name!r} not in library") from None
+
+    def instantiate(self, template: str, instance: str) -> Module:
+        """A fresh module instance of a template."""
+        proto = self.template(template)
+        return Module(
+            name=instance,
+            width=proto.width,
+            height=proto.height,
+            terminals=dict(proto.terminals),
+            template=proto.template,
+        )
+
+    __call__ = instantiate
+
+    # -- persistence -------------------------------------------------------
+
+    SUFFIX = ".mod"
+
+    def save(self, directory: str | Path) -> list[Path]:
+        """Write every template as a description file in ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name in self:
+            path = directory / f"{name}{self.SUFFIX}"
+            path.write_text(write_module_description(self._templates[name]))
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ModuleLibrary":
+        """Read a library directory written by :meth:`save` (or by hand)."""
+        directory = Path(directory)
+        lib = cls()
+        for path in sorted(directory.glob(f"*{cls.SUFFIX}")):
+            lib.add_description(path.read_text())
+        return lib

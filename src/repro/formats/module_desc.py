@@ -1,0 +1,67 @@
+"""The simple module description (Appendix B, the QUINTO input).
+
+File format::
+
+    module <MODULE-NAME> <WIDTH> <HEIGHT>
+    <TYPE> <TERM-NAME> <X> <Y>
+    ...
+
+with ``TYPE in | out | inout``.  All dimensions and coordinates must be
+divisible by 10 and terminals must sit on the module outline.  One file
+unit of 10 corresponds to one grid unit of the library (``SCALE``).
+"""
+
+from __future__ import annotations
+
+from ..core.geometry import Point
+from ..core.netlist import Module, NetlistError, TermType
+
+SCALE = 10
+
+
+def parse_module_description(text: str) -> Module:
+    """Parse a QUINTO module description into a library template."""
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise NetlistError("empty module description")
+    head = lines[0].split()
+    if len(head) != 4 or head[0] != "module":
+        raise NetlistError(f"bad module heading: {lines[0]!r}")
+    name = head[1]
+    width, height = _scaled(head[2], "width"), _scaled(head[3], "height")
+    module = Module(name=name, width=width, height=height, template=name)
+    if len(lines) == 1:
+        raise NetlistError(f"module {name!r} declares no terminals")
+    for line in lines[1:]:
+        parts = line.split()
+        if len(parts) != 4:
+            raise NetlistError(f"bad terminal record: {line!r}")
+        ttype = TermType.parse(parts[0])
+        x, y = _scaled(parts[2], "x"), _scaled(parts[3], "y")
+        module.add_terminal(parts[1], ttype, Point(x, y))
+    return module
+
+
+def _scaled(text: str, what: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise NetlistError(f"{what} is not an integer: {text!r}") from None
+    if value % SCALE != 0:
+        raise NetlistError(f"{what} {value} is not divisible by {SCALE}")
+    return value // SCALE
+
+
+def write_module_description(module: Module) -> str:
+    """Serialise a template back to the Appendix B format."""
+    lines = [f"module {module.template} {module.width * SCALE} {module.height * SCALE}"]
+    for term in module.terminals.values():
+        lines.append(
+            f"{term.type.value} {term.name} "
+            f"{term.offset.x * SCALE} {term.offset.y * SCALE}"
+        )
+    return "\n".join(lines) + "\n"

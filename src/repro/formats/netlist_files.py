@@ -1,0 +1,162 @@
+"""The net-list description of a network (Appendix A).
+
+Three sequential ASCII files describe a network:
+
+* the **call-file** lists the module instances with their templates
+  (``<INSTANCE> <TEMPLATE>`` records),
+* the **io-file** lists the system terminals with their types
+  (``<TERMINAL> <TYPE>`` records, type ``in | out | inout``),
+* the **net-list-file** lists the net/pin connections
+  (``<NET> <INSTANCE> <TERMINAL>`` records, instance ``root`` for system
+  terminals).
+
+Fields are separated by blanks or tabs; records by newlines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..core.netlist import Module, NetlistError, Network, Pin, TermType
+
+ROOT_INSTANCE = "root"
+
+
+def _records(text: str, fields: int, what: str) -> Iterable[list[str]]:
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != fields:
+            raise NetlistError(
+                f"{what} line {lineno}: expected {fields} fields, got {len(parts)}: {raw!r}"
+            )
+        yield parts
+
+
+# -- call-file ----------------------------------------------------------
+
+
+def parse_call_file(text: str) -> list[tuple[str, str]]:
+    """Parse a call-file into (instance, template) pairs."""
+    pairs = []
+    seen: set[str] = set()
+    for instance, template in _records(text, 2, "call-file"):
+        if instance in seen:
+            raise NetlistError(f"call-file: duplicate instance {instance!r}")
+        seen.add(instance)
+        pairs.append((instance, template))
+    return pairs
+
+
+def write_call_file(network: Network) -> str:
+    return "".join(
+        f"{m.name} {m.template}\n" for m in network.modules.values()
+    )
+
+
+# -- io-file -------------------------------------------------------------
+
+
+def parse_io_file(text: str) -> list[tuple[str, TermType]]:
+    """Parse an io-file into (terminal, type) pairs."""
+    return [
+        (terminal, TermType.parse(type_text))
+        for terminal, type_text in _records(text, 2, "io-file")
+    ]
+
+
+def write_io_file(network: Network) -> str:
+    return "".join(
+        f"{st.name} {st.type.value}\n" for st in network.system_terminals.values()
+    )
+
+
+# -- net-list-file ---------------------------------------------------------
+
+
+def parse_netlist_file(text: str) -> list[tuple[str, Pin]]:
+    """Parse a net-list-file into (net, pin) records."""
+    out = []
+    for net, instance, terminal in _records(text, 3, "net-list-file"):
+        pin = Pin(None, terminal) if instance == ROOT_INSTANCE else Pin(instance, terminal)
+        out.append((net, pin))
+    return out
+
+
+def write_netlist_file(network: Network) -> str:
+    lines = []
+    for net in network.nets.values():
+        for pin in net.pins:
+            instance = ROOT_INSTANCE if pin.is_system else pin.module
+            lines.append(f"{net.name} {instance} {pin.terminal}\n")
+    return "".join(lines)
+
+
+# -- assembling a Network ---------------------------------------------------
+
+
+def build_network(
+    netlist_text: str,
+    call_text: str,
+    io_text: str = "",
+    *,
+    library: Callable[[str, str], Module],
+    name: str = "network",
+) -> Network:
+    """Assemble and validate a :class:`Network` from the three files.
+
+    ``library`` instantiates a template: ``library(template, instance)``
+    (e.g. :func:`repro.workloads.stdlib.instantiate` or a
+    :class:`repro.formats.library.ModuleLibrary`).
+    """
+    network = Network(name=name)
+    for instance, template in parse_call_file(call_text):
+        network.add_module(library(template, instance))
+    for terminal, ttype in parse_io_file(io_text):
+        network.add_system_terminal(terminal, ttype)
+    for net, pin in parse_netlist_file(netlist_text):
+        network.connect(net, pin)
+    network.validate()
+    return network
+
+
+def load_network_files(
+    netlist_path: str | Path,
+    call_path: str | Path,
+    io_path: str | Path | None = None,
+    *,
+    library: Callable[[str, str], Module],
+    name: str | None = None,
+) -> Network:
+    """File-based convenience wrapper around :func:`build_network`.
+
+    The io-file may be omitted when the network has no system terminals
+    (Appendix E: "If no system terminal appears in the network then the
+    io-file may be omitted")."""
+    netlist_path = Path(netlist_path)
+    io_text = Path(io_path).read_text() if io_path is not None else ""
+    return build_network(
+        netlist_path.read_text(),
+        Path(call_path).read_text(),
+        io_text,
+        library=library,
+        name=name or netlist_path.stem,
+    )
+
+
+def save_network_files(network: Network, directory: str | Path) -> dict[str, Path]:
+    """Write the three Appendix A files for a network; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "netlist": directory / f"{network.name}.net",
+        "call": directory / f"{network.name}.call",
+        "io": directory / f"{network.name}.io",
+    }
+    paths["netlist"].write_text(write_netlist_file(network))
+    paths["call"].write_text(write_call_file(network))
+    paths["io"].write_text(write_io_file(network))
+    return paths

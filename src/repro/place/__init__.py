@@ -1,0 +1,46 @@
+"""Placement: PABLO and the baseline placers."""
+
+from .partitioning import PartitionLimits, form_partition, partition_network, take_a_seed
+from .boxes import construct_roots, drive_edges, form_boxes, longest_path
+from .module_place import BoxLayout, place_box
+from .box_place import PartitionLayout, place_partition
+from .partition_place import FixedPart, place_partitions
+from .terminal_place import place_terminals
+from .gravity import GravityItem, place_by_gravity
+from .pablo import PabloOptions, PlacementReport, place_network
+from .epitaxial import epitaxial_placement
+from .mincut import bipartition, cut_count, mincut_placement
+from .logic_columns import levelize, logic_columns_placement
+from .improvement import ImprovementReport, estimated_wire_length, improve_placement
+
+__all__ = [
+    "PartitionLimits",
+    "form_partition",
+    "partition_network",
+    "take_a_seed",
+    "construct_roots",
+    "drive_edges",
+    "form_boxes",
+    "longest_path",
+    "BoxLayout",
+    "place_box",
+    "PartitionLayout",
+    "place_partition",
+    "FixedPart",
+    "place_partitions",
+    "place_terminals",
+    "GravityItem",
+    "place_by_gravity",
+    "PabloOptions",
+    "PlacementReport",
+    "place_network",
+    "epitaxial_placement",
+    "bipartition",
+    "cut_count",
+    "mincut_placement",
+    "levelize",
+    "logic_columns_placement",
+    "ImprovementReport",
+    "estimated_wire_length",
+    "improve_placement",
+]

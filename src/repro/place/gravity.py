@@ -1,0 +1,165 @@
+"""Center-of-gravity constructive placement (sections 4.6.5 and 4.6.6).
+
+Box placement inside a partition and partition placement of the whole
+design follow the same scheme: place the largest item first, then
+repeatedly take the unplaced item most heavily connected to the placed
+ones, compute the gravity center of its shared-net terminals and of the
+matching terminals already placed, and put the item at the free position
+that brings the two centers closest without overlap.
+
+This module implements the scheme generically over :class:`GravityItem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.geometry import Point, Rect
+
+
+@dataclass
+class GravityItem:
+    """An abstract placeable rectangle with connected terminals.
+
+    ``net_points`` maps a net name to the item-local positions of the
+    item's terminals on that net; ``weight`` ranks the item for
+    first-placement (the paper uses the module count).
+    """
+
+    key: str
+    width: int
+    height: int
+    net_points: dict[str, list[Point]] = field(default_factory=dict)
+    weight: int = 1
+
+    @property
+    def nets(self) -> set[str]:
+        return set(self.net_points)
+
+
+def _shared_centers(
+    item: GravityItem,
+    placed: dict[str, Point],
+    items: dict[str, GravityItem],
+) -> tuple[tuple[float, float], tuple[float, float]] | None:
+    """(g0, g1): gravity of the candidate's shared-net terminals in local
+    coordinates, and of the placed items' terminals on those nets in
+    absolute coordinates.  ``None`` when no net is shared."""
+    sx0 = sy0 = n0 = 0.0
+    sx1 = sy1 = n1 = 0.0
+    for net, local_pts in item.net_points.items():
+        contributions = []
+        for key, pos in placed.items():
+            for p in items[key].net_points.get(net, ()):
+                contributions.append(Point(pos.x + p.x, pos.y + p.y))
+        if not contributions:
+            continue
+        for p in local_pts:
+            sx0 += p.x
+            sy0 += p.y
+            n0 += 1
+        for p in contributions:
+            sx1 += p.x
+            sy1 += p.y
+            n1 += 1
+    if n0 == 0 or n1 == 0:
+        return None
+    return (sx0 / n0, sy0 / n0), (sx1 / n1, sy1 / n1)
+
+
+def _connection_weight(
+    item: GravityItem, placed: dict[str, Point], items: dict[str, GravityItem]
+) -> int:
+    placed_nets: set[str] = set()
+    for key in placed:
+        placed_nets |= items[key].nets
+    return len(item.nets & placed_nets)
+
+
+def _feasible(
+    pos: Point, item: GravityItem, placed_rects: list[Rect], spacing: int
+) -> bool:
+    candidate = Rect(
+        pos.x - spacing, pos.y - spacing, item.width + 2 * spacing, item.height + 2 * spacing
+    )
+    return not any(candidate.overlaps(r) for r in placed_rects)
+
+
+def _nearest_free_position(
+    ideal: Point, item: GravityItem, placed_rects: list[Rect], spacing: int
+) -> Point:
+    """Free position nearest to ``ideal`` (ring search by growing
+    Chebyshev radius, exact within each ring)."""
+    if _feasible(ideal, item, placed_rects, spacing):
+        return ideal
+    extent = sum(max(r.w, r.h) + max(item.width, item.height) + spacing + 2 for r in placed_rects)
+    max_radius = max(extent, 8)
+    for radius in range(1, max_radius + 1):
+        best: Point | None = None
+        best_d = None
+        for p in _ring(ideal, radius):
+            if _feasible(p, item, placed_rects, spacing):
+                d = (p.x - ideal.x) ** 2 + (p.y - ideal.y) ** 2
+                if best_d is None or d < best_d:
+                    best, best_d = p, d
+        if best is not None:
+            return best
+    raise RuntimeError("gravity placement found no free position")  # pragma: no cover
+
+
+def _ring(center: Point, radius: int):
+    x, y = center
+    for dx in range(-radius, radius + 1):
+        yield Point(x + dx, y + radius)
+        yield Point(x + dx, y - radius)
+    for dy in range(-radius + 1, radius):
+        yield Point(x + radius, y + dy)
+        yield Point(x - radius, y + dy)
+
+
+def place_by_gravity(
+    items: list[GravityItem],
+    *,
+    spacing: int = 0,
+    preplaced: dict[str, Point] | None = None,
+) -> dict[str, Point]:
+    """Place all items; returns absolute lower-left positions.
+
+    ``preplaced`` items keep their given positions and act as the initial
+    seed of the placement (PABLO's -g option: the preplaced part forms a
+    partition of its own and the rest is placed around it).
+    """
+    by_key = {item.key: item for item in items}
+    placed: dict[str, Point] = dict(preplaced or {})
+    for key in placed:
+        if key not in by_key:
+            raise KeyError(f"preplaced item {key!r} is not among the items")
+    remaining = [item for item in items if item.key not in placed]
+
+    if not placed and remaining:
+        first = max(remaining, key=lambda i: (i.weight, i.width * i.height, i.key))
+        remaining.remove(first)
+        placed[first.key] = Point(0, 0)
+
+    while remaining:
+        item = max(
+            remaining,
+            key=lambda i: (_connection_weight(i, placed, by_key), i.weight, i.key),
+        )
+        remaining.remove(item)
+        placed_rects = [
+            Rect(pos.x, pos.y, by_key[k].width, by_key[k].height)
+            for k, pos in placed.items()
+        ]
+        centers = _shared_centers(item, placed, by_key)
+        if centers is None:
+            # Unconnected item: aim right of the current placement.
+            bbox = placed_rects[0]
+            for r in placed_rects[1:]:
+                bbox = bbox.union(r)
+            ideal = Point(bbox.x2 + spacing + 1, bbox.y)
+        else:
+            (g0x, g0y), (g1x, g1y) = centers
+            ideal = Point(round(g1x - g0x), round(g1y - g0y))
+        placed[item.key] = _nearest_free_position(ideal, item, placed_rects, spacing)
+    return placed

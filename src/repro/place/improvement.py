@@ -1,0 +1,112 @@
+"""Iterative placement improvement (section 4.2.1) — baseline.
+
+The paper describes, and rejects, the class of placement-improvement
+algorithms: "They deal with local changes such as the pair wise exchange
+of modules.  Typically, there are a large number of such trials, so this
+results in very greedy algorithms ... Their greediness is unacceptable
+for generating diagrams automatically.  A diagram should be produced in
+no time."
+
+This module implements exactly that rejected class — pairwise module
+exchange minimising estimated wire length — as an optional post-pass over
+any placement, so the trade-off (quality gained vs time spent) can be
+measured instead of argued (see benchmarks/test_bench_improvement.py).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.diagram import Diagram
+from ..core.netlist import Network
+
+
+@dataclass
+class ImprovementReport:
+    """Outcome of one improvement run."""
+
+    passes: int = 0
+    swaps: int = 0
+    trials: int = 0
+    initial_cost: int = 0
+    final_cost: int = 0
+    seconds: float = 0.0
+
+    @property
+    def gain(self) -> float:
+        if self.initial_cost == 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.initial_cost
+
+
+def estimated_wire_length(diagram: Diagram) -> int:
+    """Half-perimeter wire length over all nets — the classic placement
+    cost model (the router's real costs are much richer, which is exactly
+    why greedy improvement on this model can mislead)."""
+    total = 0
+    for net in diagram.network.nets.values():
+        xs: list[int] = []
+        ys: list[int] = []
+        for pin in net.pins:
+            if pin.is_system and pin.terminal not in diagram.terminal_positions:
+                continue
+            if not pin.is_system and pin.module not in diagram.placements:
+                continue
+            p = diagram.pin_position(pin)
+            xs.append(p.x)
+            ys.append(p.y)
+        if len(xs) >= 2:
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total
+
+
+def _swappable_pairs(network: Network, diagram: Diagram) -> list[tuple[str, str]]:
+    """Module pairs whose symbols have the same footprint (swapping
+    different-size modules would need replacement legality checks; the
+    classic exchange algorithms restrict themselves to equal slots)."""
+    names = sorted(diagram.placements)
+    pairs = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if diagram.placements[a].size == diagram.placements[b].size:
+                pairs.append((a, b))
+    return pairs
+
+
+def _swap(diagram: Diagram, a: str, b: str) -> None:
+    pa, pb = diagram.placements[a], diagram.placements[b]
+    pa.position, pb.position = pb.position, pa.position
+    pa.rotation, pb.rotation = pb.rotation, pa.rotation
+
+
+def improve_placement(
+    diagram: Diagram, *, max_passes: int = 10
+) -> ImprovementReport:
+    """Greedy pairwise exchange until no swap reduces the estimated wire
+    length (or ``max_passes`` sweeps).  Mutates the diagram in place."""
+    report = ImprovementReport()
+    started = time.perf_counter()
+    report.initial_cost = estimated_wire_length(diagram)
+    cost = report.initial_cost
+    pairs = _swappable_pairs(diagram.network, diagram)
+
+    for _ in range(max_passes):
+        report.passes += 1
+        improved = False
+        for a, b in pairs:
+            report.trials += 1
+            _swap(diagram, a, b)
+            new_cost = estimated_wire_length(diagram)
+            if new_cost < cost:
+                cost = new_cost
+                report.swaps += 1
+                improved = True
+            else:
+                _swap(diagram, a, b)  # undo
+        if not improved:
+            break
+
+    report.final_cost = cost
+    report.seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,107 @@
+"""Column-based logic-schematic placement (section 4.3) — baseline.
+
+The standard technique for *logic* schematics: assign every module to a
+column by signal level (sources in column 0, a module joins column k+1
+when all its drivers sit in columns <= k), then permute the rows within
+each column to reduce net crossings (barycenter sweeps — the practical
+substitute for exhaustive permutation the paper mentions).  The paper
+deems the approach too constrained for general schematics; the baseline
+lets the experiments show where it works and where it degenerates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.diagram import Diagram
+from ..core.geometry import Point
+from ..core.netlist import Network
+from .boxes import drive_edges
+from .terminal_place import place_terminals
+
+BARYCENTER_SWEEPS = 3
+
+
+def levelize(network: Network) -> list[list[str]]:
+    """Assign modules to columns by drive level.
+
+    Feedback loops (which the logic-schematic literature "often excludes
+    for reasons of simplicity") are broken by force-placing the remaining
+    module with the fewest unplaced drivers.
+    """
+    names = sorted(network.modules)
+    edges = drive_edges(network, set(names))
+    drivers: dict[str, set[str]] = defaultdict(set)
+    for source, lst in edges.items():
+        for edge in lst:
+            drivers[edge.sink].add(source)
+
+    placed: set[str] = set()
+    columns: list[list[str]] = []
+    remaining = set(names)
+    while remaining:
+        ready = sorted(
+            m for m in remaining if drivers.get(m, set()) <= placed
+        )
+        if not ready:
+            victim = min(
+                sorted(remaining),
+                key=lambda m: len(drivers.get(m, set()) - placed),
+            )
+            ready = [victim]
+        columns.append(ready)
+        placed.update(ready)
+        remaining -= set(ready)
+    return columns
+
+
+def _barycenter_order(
+    network: Network, columns: list[list[str]]
+) -> list[list[str]]:
+    """Reduce crossings by ordering each column by the mean row index of
+    its connected modules in the previous column (then a reverse sweep)."""
+    rows: dict[str, int] = {}
+    for column in columns:
+        for i, m in enumerate(column):
+            rows[m] = i
+
+    def sweep(order: range) -> None:
+        for ci in order:
+            column = columns[ci]
+
+            def barycenter(m: str) -> float:
+                connected = [
+                    rows[o]
+                    for o in rows
+                    if o != m and network.connection_count(m, o) > 0
+                ]
+                return sum(connected) / len(connected) if connected else rows[m]
+
+            column.sort(key=lambda m: (barycenter(m), m))
+            for i, m in enumerate(column):
+                rows[m] = i
+
+    for _ in range(BARYCENTER_SWEEPS):
+        sweep(range(1, len(columns)))
+        sweep(range(len(columns) - 2, -1, -1))
+    return columns
+
+
+def logic_columns_placement(network: Network, *, spacing: int = 4) -> Diagram:
+    """Columnar placement of all modules: levelize, order, stack."""
+    diagram = Diagram(network)
+    if not network.modules:
+        return diagram
+    columns = _barycenter_order(network, levelize(network))
+
+    x = 0
+    for column in columns:
+        width = max(network.modules[m].width for m in column)
+        y = 0
+        for name in column:
+            module = network.modules[name]
+            diagram.place_module(name, Point(x, y))
+            y += module.height + spacing
+        x += width + spacing * 2
+    place_terminals(diagram)
+    return diagram

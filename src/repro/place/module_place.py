@@ -1,0 +1,144 @@
+"""Module placement inside a box (section 4.6.4).
+
+The modules of a string are laid out left to right.  Every module is
+rotated so the terminal connecting it to its predecessor faces left (the
+first module faces its driving terminal right), and shifted vertically so
+the connecting net needs at most two bends — by the paper's lemma this
+makes the intra-string nets minimum-bend for the fixed level assignment.
+White space is added around each module: the number of tracks on a side
+equals the number of connected terminals on that side plus one (Appendix
+E), plus a user-controlled extra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.geometry import Point, Side
+from ..core.netlist import Module, Network
+from ..core.rotation import Rotation
+from .boxes import DriveEdge, string_edge
+
+
+@dataclass
+class BoxLayout:
+    """A placed string: module positions relative to the box lower-left
+    corner, per-module rotations, and the box dimension."""
+
+    modules: list[str]
+    positions: dict[str, Point] = field(default_factory=dict)
+    rotations: dict[str, Rotation] = field(default_factory=dict)
+    width: int = 0
+    height: int = 0
+
+    @property
+    def size(self) -> tuple[int, int]:
+        return (self.width, self.height)
+
+    def terminal_point(self, network: Network, module: str, terminal: str) -> Point:
+        """Box-local position of a terminal of a member module."""
+        mod = network.modules[module]
+        rot = self.rotations[module]
+        off = rot.apply(mod.terminals[terminal].offset, mod.width, mod.height)
+        pos = self.positions[module]
+        return Point(pos.x + off.x, pos.y + off.y)
+
+    def net_points(self, network: Network) -> dict[str, list[Point]]:
+        """Box-local connected-terminal positions per net (for gravity)."""
+        out: dict[str, list[Point]] = {}
+        for module in self.modules:
+            for net, pin in network.pins_of_module(module):
+                out.setdefault(net.name, []).append(
+                    self.terminal_point(network, module, pin.terminal)
+                )
+        return out
+
+
+def connected_terminals_on(
+    network: Network, module: Module, rotation: Rotation, side: Side
+) -> int:
+    """Number of net-connected terminals facing ``side`` after rotation."""
+    connected = {
+        pin.terminal for _net, pin in network.pins_of_module(module.name)
+    }
+    count = 0
+    for name in connected:
+        if rotation.side(module.side(name)) is side:
+            count += 1
+    return count
+
+
+def _space(network: Network, module: Module, rot: Rotation, side: Side, extra: int) -> int:
+    """The white-space function f: connected terminals on the side + 1."""
+    return connected_terminals_on(network, module, rot, side) + 1 + extra
+
+
+def place_box(
+    network: Network, box: list[str], *, extra_space: int = 0
+) -> BoxLayout:
+    """MODULE_PLACEMENT for one box (string) of modules."""
+    layout = BoxLayout(modules=list(box))
+    members = set(box)
+    edges: list[DriveEdge | None] = [
+        string_edge(network, prev, nxt, members) for prev, nxt in zip(box, box[1:])
+    ]
+
+    first = network.modules[box[0]]
+    if edges:
+        out_side = first.side(edges[0].source_terminal)
+        rot0 = Rotation.taking(out_side, Side.RIGHT)
+    else:
+        rot0 = Rotation.R0
+    layout.rotations[box[0]] = rot0
+    w0, h0 = rot0.size(first.width, first.height)
+    x = _space(network, first, rot0, Side.LEFT, extra_space)
+    y = _space(network, first, rot0, Side.DOWN, extra_space)
+    layout.positions[box[0]] = Point(x, y)
+    left, down = 0, 0
+    right = x + w0 + _space(network, first, rot0, Side.RIGHT, extra_space)
+    up = y + h0 + _space(network, first, rot0, Side.UP, extra_space)
+
+    for edge in edges:
+        assert edge is not None
+        prev = network.modules[edge.source]
+        mod = network.modules[edge.sink]
+        prev_rot = layout.rotations[edge.source]
+        rot = Rotation.taking(mod.side(edge.sink_terminal), Side.LEFT)
+        layout.rotations[edge.sink] = rot
+
+        prev_pos = layout.positions[edge.source]
+        prev_w, prev_h = prev_rot.size(prev.width, prev.height)
+        t_prev_off = prev_rot.apply(
+            prev.terminals[edge.source_terminal].offset, prev.width, prev.height
+        )
+        t_off = rot.apply(
+            mod.terminals[edge.sink_terminal].offset, mod.width, mod.height
+        )
+        prev_side = prev_rot.side(prev.side(edge.source_terminal))
+
+        if prev_side is Side.RIGHT:
+            y = prev_pos.y + t_prev_off.y - t_off.y
+        elif prev_side is Side.UP:
+            y = prev_pos.y + t_prev_off.y - t_off.y + 1
+        elif prev_side is Side.DOWN:
+            y = prev_pos.y - 1 - t_off.y
+        else:  # LEFT: route around the shorter way
+            if prev_h - t_prev_off.y > t_prev_off.y:
+                y = prev_pos.y - 1 - t_off.y
+            else:
+                y = prev_pos.y + prev_h + 1 - t_off.y
+
+        x = right + _space(network, mod, rot, Side.LEFT, extra_space)
+        layout.positions[edge.sink] = Point(x, y)
+        w, h = rot.size(mod.width, mod.height)
+        right = x + w + _space(network, mod, rot, Side.RIGHT, extra_space)
+        up = max(up, y + h + _space(network, mod, rot, Side.UP, extra_space))
+        down = min(down, y - _space(network, mod, rot, Side.DOWN, extra_space))
+
+    # Translate so the box lower-left corner is the local origin.
+    dx, dy = -left, -down
+    for name, pos in layout.positions.items():
+        layout.positions[name] = Point(pos.x + dx, pos.y + dy)
+    layout.width = right - left
+    layout.height = up - down
+    return layout

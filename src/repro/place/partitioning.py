@@ -1,0 +1,88 @@
+"""Partitioning the design (section 4.6.3).
+
+The placement first decomposes the module set into functional partitions:
+pick a seed (the free module most heavily connected to the remaining free
+modules), then grow a cluster around it until the partition size limit or
+the external-connection limit is hit, then start over with a new seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.netlist import Network
+
+
+@dataclass(frozen=True)
+class PartitionLimits:
+    """The -p and -c options of PABLO (Appendix E)."""
+
+    max_size: int = 1
+    max_connections: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.max_size < 1:
+            raise ValueError("partition size limit must be at least 1")
+
+
+def take_a_seed(network: Network, free: set[str], placed: set[str]) -> str:
+    """TAKE_A_SEED: the free module with the most nets to other free
+    modules; ties prefer fewest nets to already-partitioned modules, then
+    lexicographic order for determinism."""
+
+    def key(module: str) -> tuple[int, int, str]:
+        to_free = network.connections_to_set(module, free - {module})
+        to_placed = network.connections_to_set(module, placed)
+        return (-to_free, to_placed, module)
+
+    return min(free, key=key)
+
+
+def form_partition(
+    network: Network, free: set[str], seed: str, limits: PartitionLimits
+) -> list[str]:
+    """FORM_PARTITION: grow a cluster around ``seed`` out of ``free``
+    (which the call consumes) until a limit trips."""
+    partition = [seed]
+    free.discard(seed)
+    connections = network.external_connections(partition)
+    while (
+        free
+        and len(partition) < limits.max_size
+        and connections < limits.max_connections
+    ):
+        member_set = set(partition)
+
+        def key(module: str) -> tuple[int, int, str]:
+            inward = network.connections_to_set(module, member_set)
+            outward = network.connections_to_set(
+                module, set(network.modules) - member_set - {module}
+            )
+            return (-inward, outward, module)
+
+        best = min(free, key=key)
+        partition.append(best)
+        free.discard(best)
+        connections = network.external_connections(partition)
+    return partition
+
+
+def partition_network(
+    network: Network,
+    limits: PartitionLimits | None = None,
+    *,
+    exclude: set[str] | None = None,
+) -> list[list[str]]:
+    """PARTITIONING: split all modules (minus ``exclude``, the preplaced
+    part) into functional partitions."""
+    limits = limits or PartitionLimits()
+    free = set(network.modules) - (exclude or set())
+    placed: set[str] = set()
+    partitions: list[list[str]] = []
+    while free:
+        seed = take_a_seed(network, free, placed)
+        partition = form_partition(network, free, seed, limits)
+        partitions.append(partition)
+        placed.update(partition)
+    return partitions

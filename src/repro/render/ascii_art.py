@@ -1,0 +1,80 @@
+"""Plain-text rendering of schematic diagrams.
+
+Useful in tests and terminals: modules are drawn as boxes, wires as
+``-``/``|`` runs with ``+`` at bends and junctions, crossings as ``#``,
+subsystem terminals as ``o`` and system terminals as ``@``.
+"""
+
+from __future__ import annotations
+
+from ..core.diagram import Diagram
+from ..core.geometry import Orientation, Point, path_segments
+
+
+def render_ascii(diagram: Diagram, *, margin: int = 1) -> str:
+    bbox = diagram.bounding_box().expand(margin)
+    width, height = bbox.w + 1, bbox.h + 1
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(p: Point, ch: str) -> None:
+        col, row = p.x - bbox.x, bbox.y2 - p.y
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = ch
+
+    def at(p: Point) -> str:
+        col, row = p.x - bbox.x, bbox.y2 - p.y
+        if 0 <= row < height and 0 <= col < width:
+            return grid[row][col]
+        return " "
+
+    # Wires.
+    for route in diagram.routes.values():
+        for path in route.paths:
+            for seg in path_segments(path):
+                ch = "-" if seg.orientation is Orientation.HORIZONTAL else "|"
+                other = "|" if ch == "-" else "-"
+                for p in seg.points():
+                    cur = at(p)
+                    if cur == other or cur == "#":
+                        put(p, "#")  # a crossing
+                    elif cur == "+":
+                        put(p, "+")
+                    else:
+                        put(p, ch)
+            for vertex in path if len(path) == 1 else path[1:-1]:
+                put(vertex, "+")
+            if len(path) > 1:
+                put(path[0], "+")
+                put(path[-1], "+")
+
+    # Module boxes overdraw wires (wires never legally enter them).
+    for pm in diagram.placements.values():
+        rect = pm.rect
+        for x in range(rect.x, rect.x2 + 1):
+            put(Point(x, rect.y), "-")
+            put(Point(x, rect.y2), "-")
+        for y in range(rect.y, rect.y2 + 1):
+            put(Point(rect.x, y), "|")
+            put(Point(rect.x2, y), "|")
+        for corner in (
+            rect.lower_left,
+            Point(rect.x2, rect.y),
+            Point(rect.x, rect.y2),
+            rect.upper_right,
+        ):
+            put(corner, "+")
+        for x in range(rect.x + 1, rect.x2):
+            for y in range(rect.y + 1, rect.y2):
+                put(Point(x, y), " ")
+        label = pm.name[: max(0, rect.w - 1)]
+        ly = (rect.y + rect.y2) // 2
+        lx = rect.x + max(1, (rect.w - len(label)) // 2)
+        for i, ch in enumerate(label):
+            put(Point(lx + i, ly), ch)
+        for tname in pm.module.terminals:
+            put(pm.terminal_position(tname), "o")
+
+    for pos in diagram.terminal_positions.values():
+        put(pos, "@")
+
+    return "\n".join("".join(row).rstrip() for row in grid)

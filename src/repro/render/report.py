@@ -1,0 +1,77 @@
+"""HTML experiment reports.
+
+Bundles one or more diagrams with their quality metrics into a single
+standalone HTML page (SVGs inlined) — the "graphical feedback to the
+designer" the paper's introduction motivates, in a form a browser shows.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.diagram import Diagram
+from ..core.metrics import diagram_metrics
+from .svg import render_svg
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { border-bottom: 2px solid #1b6ca8; padding-bottom: 0.2em; }
+section { margin-bottom: 3em; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #bbb; padding: 0.3em 0.8em; text-align: right; }
+th { background: #f0f4f8; }
+figure { margin: 1em 0; border: 1px solid #ddd; padding: 0.5em;
+         overflow: auto; max-height: 720px; }
+figcaption { color: #666; font-size: 0.9em; margin-bottom: 0.5em; }
+.note { color: #555; max-width: 60em; }
+"""
+
+
+@dataclass
+class Report:
+    """A collection of titled diagram sections rendered to one page."""
+
+    title: str
+    sections: list[tuple[str, str, Diagram, str]] = field(default_factory=list)
+
+    def add(self, heading: str, diagram: Diagram, *, note: str = "", unit: int = 10) -> None:
+        """Add a diagram section with an optional explanatory note."""
+        svg = render_svg(diagram, unit=unit)
+        self.sections.append((heading, note, diagram, svg))
+
+    def to_html(self) -> str:
+        parts = [
+            "<!DOCTYPE html>",
+            "<html><head><meta charset='utf-8'>",
+            f"<title>{html.escape(self.title)}</title>",
+            f"<style>{_STYLE}</style>",
+            "</head><body>",
+            f"<h1>{html.escape(self.title)}</h1>",
+        ]
+        for heading, note, diagram, svg in self.sections:
+            metrics = diagram_metrics(diagram)
+            parts.append("<section>")
+            parts.append(f"<h2>{html.escape(heading)}</h2>")
+            if note:
+                parts.append(f"<p class='note'>{html.escape(note)}</p>")
+            parts.append(_metrics_table(metrics.as_row()))
+            parts.append(
+                f"<figure><figcaption>{html.escape(heading)}</figcaption>{svg}</figure>"
+            )
+            parts.append("</section>")
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_html())
+        return path
+
+
+def _metrics_table(row) -> str:
+    headers = "".join(f"<th>{html.escape(str(k))}</th>" for k in row)
+    values = "".join(f"<td>{html.escape(str(v))}</td>" for v in row.values())
+    return f"<table><tr>{headers}</tr><tr>{values}</tr></table>"

@@ -1,0 +1,111 @@
+"""SVG rendering of schematic diagrams (the chapter 6 figures)."""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from ..core.diagram import Diagram
+
+_NET_COLORS = [
+    "#1b6ca8",
+    "#b33939",
+    "#218c5c",
+    "#8e5aa8",
+    "#b97a1a",
+    "#3a7ca5",
+    "#7a5c3a",
+    "#4a6b2a",
+]
+
+
+def render_svg(
+    diagram: Diagram,
+    *,
+    unit: int = 12,
+    margin: int = 2,
+    show_net_names: bool = False,
+) -> str:
+    """Render the diagram as a standalone SVG document.
+
+    ``unit`` is the pixel size of one grid unit; the y axis is flipped so
+    the schematic's up is the screen's up.
+    """
+    bbox = diagram.bounding_box().expand(margin)
+
+    def sx(x: int | float) -> float:
+        return (x - bbox.x) * unit
+
+    def sy(y: int | float) -> float:
+        return (bbox.y2 - y) * unit
+
+    parts: list[str] = []
+    width, height = (bbox.w) * unit, (bbox.h) * unit
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="monospace">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="#fdfcf8"/>')
+
+    # Nets first so module bodies overdraw their touch points cleanly.
+    for i, (name, route) in enumerate(sorted(diagram.routes.items())):
+        color = _NET_COLORS[i % len(_NET_COLORS)]
+        for path in route.paths:
+            if len(path) == 1:
+                continue
+            points = " ".join(f"{sx(p.x):.1f},{sy(p.y):.1f}" for p in path)
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5"/>'
+            )
+        if show_net_names and route.paths and len(route.paths[0]) > 1:
+            p = route.paths[0][0]
+            parts.append(
+                f'<text x="{sx(p.x) + 2:.1f}" y="{sy(p.y) - 2:.1f}" '
+                f'font-size="{unit * 0.6:.0f}" fill="{color}">{html.escape(name)}</text>'
+            )
+
+    for pm in diagram.placements.values():
+        rect = pm.rect
+        parts.append(
+            f'<rect x="{sx(rect.x):.1f}" y="{sy(rect.y2):.1f}" '
+            f'width="{rect.w * unit}" height="{rect.h * unit}" '
+            'fill="#ffffff" stroke="#222222" stroke-width="1.8"/>'
+        )
+        cx, cy = rect.center
+        parts.append(
+            f'<text x="{sx(cx):.1f}" y="{sy(cy) + unit * 0.3:.1f}" '
+            f'font-size="{unit * 0.8:.0f}" text-anchor="middle" '
+            f'fill="#222222">{html.escape(pm.name)}</text>'
+        )
+        for tname in pm.module.terminals:
+            tp = pm.terminal_position(tname)
+            parts.append(
+                f'<circle cx="{sx(tp.x):.1f}" cy="{sy(tp.y):.1f}" r="{unit * 0.18:.1f}" '
+                'fill="#222222"/>'
+            )
+
+    for name, pos in diagram.terminal_positions.items():
+        r = unit * 0.35
+        parts.append(
+            f'<rect x="{sx(pos.x) - r:.1f}" y="{sy(pos.y) - r:.1f}" '
+            f'width="{2 * r:.1f}" height="{2 * r:.1f}" '
+            f'fill="#ffffff" stroke="#444444" transform="rotate(45 {sx(pos.x):.1f} '
+            f'{sy(pos.y):.1f})"/>'
+        )
+        parts.append(
+            f'<text x="{sx(pos.x):.1f}" y="{sy(pos.y) - r - 2:.1f}" '
+            f'font-size="{unit * 0.7:.0f}" text-anchor="middle" '
+            f'fill="#444444">{html.escape(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(diagram: Diagram, path: str | Path, **kwargs) -> Path:
+    """Render and write an SVG file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_svg(diagram, **kwargs))
+    return path

@@ -1,0 +1,302 @@
+"""EUREKA — the routing driver (chapter 5 and Appendix F).
+
+Takes a placed (possibly partially prerouted) diagram and adds a path for
+every net:
+
+* multipoint nets are routed point-to-point first, then every further
+  terminal is connected to the geometry routed so far (section 5.5.3),
+* claimpoints protect not-yet-routed terminals (section 5.7),
+* nets that fail while claims are in place are retried once after every
+  claim has been released (section 5.7),
+* prerouted paths already present in the diagram are kept and used as
+  connection targets (Appendix F),
+* the ``-u/-d/-r/-l`` options pin plane borders, ``-s`` swaps the
+  crossover/length tie-break (Appendix F).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Literal
+
+from ..core.diagram import Diagram, RoutedNet
+from ..core.geometry import Direction, Point, Side
+from ..core.netlist import Net, Pin
+from . import claimpoints
+from .line_expansion import (
+    CostOrder,
+    RouteResult,
+    SearchStats,
+    route_connection,
+    start_directions_for,
+)
+from .plane import DEFAULT_MARGIN, Plane
+
+NetOrder = Literal["input", "shortest_first", "fewest_pins_first"]
+Engine = Literal["state", "intervals"]
+
+
+@dataclass(frozen=True)
+class RouterOptions:
+    """Knobs of the EUREKA command line (Appendix F) plus ablations."""
+
+    claimpoints: bool = True
+    cost_order: CostOrder = CostOrder.BENDS_CROSSINGS_LENGTH
+    margin: int = DEFAULT_MARGIN
+    fixed_sides: frozenset[Side] = frozenset()
+    retry_failed: bool = True
+    net_order: NetOrder = "shortest_first"
+    #: "state" = the exhaustive lexicographic search engine; "intervals" =
+    #: the paper's literal segment-sweep engine (identical bend counts,
+    #: crossing-first tie-break only).
+    engine: Engine = "state"
+
+    def with_swap_option(self) -> "RouterOptions":
+        """The -s option: length before crossovers."""
+        return replace(self, cost_order=CostOrder.BENDS_LENGTH_CROSSINGS)
+
+
+@dataclass
+class RoutingReport:
+    """What happened during one EUREKA run."""
+
+    nets_total: int = 0
+    nets_routed: int = 0
+    nets_failed: int = 0
+    failed_nets: list[str] = field(default_factory=list)
+    retried_nets: list[str] = field(default_factory=list)
+    claims_placed: int = 0
+    seconds: float = 0.0
+    search: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def success_rate(self) -> float:
+        if self.nets_total == 0:
+            return 1.0
+        return self.nets_routed / self.nets_total
+
+
+def route_diagram(
+    diagram: Diagram,
+    options: RouterOptions | None = None,
+    *,
+    only_nets: Iterable[str] | None = None,
+) -> RoutingReport:
+    """Add a path for every unrouted net of a placed diagram, in place.
+
+    ``only_nets`` restricts the run to a subset (used by the rip-up pass
+    to give previously failed nets first pick of the freed tracks)."""
+    options = options or RouterOptions()
+    report = RoutingReport()
+    started = time.perf_counter()
+
+    plane = Plane.for_diagram(
+        diagram, margin=options.margin, fixed_sides=options.fixed_sides
+    )
+    routable = _routable_nets(diagram)
+    if only_nets is not None:
+        wanted = set(only_nets)
+        routable = [n for n in routable if n in wanted]
+    todo = _order_nets(diagram, routable, options.net_order)
+    report.nets_total = len(todo)
+
+    if options.claimpoints:
+        report.claims_placed = claimpoints.place_claims(plane, diagram, todo)
+
+    failed: list[str] = []
+    for net_name in todo:
+        net = diagram.network.nets[net_name]
+        claimpoints.release_net_claims(plane, net_name, net.pins)
+        ok = _route_net(plane, diagram, net, options, report.search)
+        if not ok:
+            failed.append(net_name)
+
+    plane.release_all_claims()
+    if options.retry_failed and failed:
+        # The paper retries unconnected terminals once every claim is
+        # gone.  We keep protecting the *failed* nets' own terminals from
+        # each other during the retry — without this, the first retried
+        # net can wall in the next one all over again.
+        if options.claimpoints:
+            claimpoints.place_claims(plane, diagram, failed)
+        still_failed = []
+        for net_name in failed:
+            report.retried_nets.append(net_name)
+            net = diagram.network.nets[net_name]
+            claimpoints.release_net_claims(plane, net_name, net.pins)
+            diagram.route_for(net_name).failed_pins.clear()
+            if not _route_net(plane, diagram, net, options, report.search):
+                still_failed.append(net_name)
+        failed = still_failed
+        plane.release_all_claims()
+
+    report.failed_nets = failed
+    report.nets_failed = len(failed)
+    report.nets_routed = report.nets_total - report.nets_failed
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def _routable_nets(diagram: Diagram) -> list[str]:
+    """Nets that still need (more) routing: at least two pins and not yet
+    fully connected by prerouted geometry."""
+    out = []
+    for net in diagram.network.nets.values():
+        if len(net.pins) < 2:
+            continue
+        route = diagram.routes.get(net.name)
+        if route is not None and route.paths:
+            pts = route.points()
+            if all(diagram.pin_position(p) in pts for p in net.pins):
+                continue  # fully prerouted
+        out.append(net.name)
+    return out
+
+
+def _order_nets(diagram: Diagram, names: list[str], order: NetOrder) -> list[str]:
+    if order == "input":
+        return list(names)
+
+    def span(name: str) -> int:
+        positions = [diagram.pin_position(p) for p in diagram.network.nets[name].pins]
+        xs = [p.x for p in positions]
+        ys = [p.y for p in positions]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    if order == "fewest_pins_first":
+        return sorted(names, key=lambda n: (len(diagram.network.nets[n].pins), span(n), n))
+    return sorted(names, key=lambda n: (span(n), len(diagram.network.nets[n].pins), n))
+
+
+def _route_net(
+    plane: Plane,
+    diagram: Diagram,
+    net: Net,
+    options: RouterOptions,
+    stats: SearchStats,
+) -> bool:
+    """Route one (possibly multipoint, possibly partially prerouted) net.
+    Returns True when every pin ends up connected."""
+    route = diagram.route_for(net.name)
+    allow = frozenset(diagram.pin_position(p) for p in net.pins)
+    existing = plane.net_points(net.name)
+
+    pending = [p for p in net.pins if diagram.pin_position(p) not in existing]
+    connected_any = bool(existing)
+
+    if not connected_any:
+        pending = _init_point_to_point(
+            plane, diagram, route, net, pending, allow, options, stats
+        )
+        connected_any = bool(plane.net_points(net.name))
+        if not connected_any:
+            route.failed_pins = list(pending)
+            return False
+
+    # EXPAND_NET: connect each remaining pin to the geometry so far,
+    # nearest pin first.
+    failed: list[Pin] = []
+    while pending:
+        geometry = plane.net_points(net.name)
+        pending.sort(key=lambda p: _distance_to_set(diagram.pin_position(p), geometry))
+        pin = pending.pop(0)
+        result = _route_pin_to_targets(
+            plane, diagram, net, pin, {q: None for q in geometry}, allow, options, stats
+        )
+        if result is None:
+            failed.append(pin)
+        else:
+            _commit(plane, route, net.name, result)
+    route.failed_pins = failed
+    return not failed
+
+
+def _init_point_to_point(
+    plane: Plane,
+    diagram: Diagram,
+    route: RoutedNet,
+    net: Net,
+    pending: list[Pin],
+    allow: frozenset[Point],
+    options: RouterOptions,
+    stats: SearchStats,
+) -> list[Pin]:
+    """INIT_NET: try pin pairs (closest first) until one pair connects.
+    Returns the pins still unconnected afterwards."""
+    pairs = sorted(
+        (
+            (i, j)
+            for i in range(len(pending))
+            for j in range(i + 1, len(pending))
+        ),
+        key=lambda ij: diagram.pin_position(pending[ij[0]]).manhattan(
+            diagram.pin_position(pending[ij[1]])
+        ),
+    )
+    for i, j in pairs:
+        a, b = pending[i], pending[j]
+        target = diagram.pin_position(b)
+        arrival = _arrival_directions(diagram, b)
+        result = _route_pin_to_targets(
+            plane, diagram, net, a, {target: arrival}, allow, options, stats
+        )
+        if result is not None:
+            _commit(plane, route, net.name, result)
+            return [p for k, p in enumerate(pending) if k not in (i, j)]
+    return pending
+
+
+def _route_pin_to_targets(
+    plane: Plane,
+    diagram: Diagram,
+    net: Net,
+    pin: Pin,
+    targets: dict[Point, frozenset[Direction] | None],
+    allow: frozenset[Point],
+    options: RouterOptions,
+    stats: SearchStats,
+) -> RouteResult | None:
+    start = diagram.pin_position(pin)
+    if start in targets:
+        # Abutting terminals: the pins already share a point; the net is a
+        # zero-length connection there.
+        return RouteResult(path=[start], bends=0, crossings=0, length=0)
+    side = diagram.pin_side(pin)
+    dirs = start_directions_for(side.outward if side is not None else None)
+    if not targets:
+        return None
+    if options.engine == "intervals":
+        from .interval_expansion import route_connection_intervals
+
+        return route_connection_intervals(
+            plane, net.name, start, dirs, targets, allow=allow, stats=stats
+        )
+    return route_connection(
+        plane,
+        net.name,
+        start,
+        dirs,
+        targets,
+        allow=allow,
+        cost_order=options.cost_order,
+        stats=stats,
+    )
+
+
+def _arrival_directions(diagram: Diagram, pin: Pin) -> frozenset[Direction] | None:
+    """A wire must arrive at a subsystem terminal moving into the module
+    (perpendicular to its side); system terminals accept any arrival."""
+    side = diagram.pin_side(pin)
+    if side is None:
+        return None
+    return frozenset({side.outward.opposite})
+
+
+def _commit(plane: Plane, route: RoutedNet, net_name: str, result: RouteResult) -> None:
+    route.add_path(result.path)
+    plane.add_net_path(net_name, result.path)
+
+
+def _distance_to_set(p: Point, points: Iterable[Point]) -> int:
+    return min((p.manhattan(q) for q in points), default=1 << 30)

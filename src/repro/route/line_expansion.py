@@ -1,0 +1,287 @@
+"""The line-expansion router (sections 5.5 and 5.6).
+
+The paper's router expands wavefronts of line segments; the wave number is
+the number of bends in the paths reaching the front, and among solutions
+with minimum bends it picks minimum crossovers, then minimum wire length
+(the ``-s`` option swaps the last two criteria).
+
+We realise exactly that optimisation as a lexicographic shortest-path
+search over states ``(point, travel direction)`` on the routing plane:
+
+* continuing straight costs length,
+* changing direction costs a bend (wave number + 1) and is only legal at
+  points free of foreign wires (a bend on a foreign wire would overlap),
+* passing straight across a foreign wire costs a crossover,
+* module borders, claimpoints, plane borders and foreign bend/end/branch
+  points block (section 5.5.2: "the only obstacles are modules and bends
+  in nets").
+
+The first target state popped from the priority queue is therefore the
+paper's optimum, and — like the paper's algorithm (section 5.5.4) — the
+search is exhaustive, so a connection is found whenever one exists.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.geometry import Direction, Orientation, Point, normalize_path
+from .plane import Plane
+
+
+class CostOrder(enum.Enum):
+    """Tie-break order among minimum-bend paths (Appendix F, option -s)."""
+
+    BENDS_CROSSINGS_LENGTH = "crossings-first"
+    BENDS_LENGTH_CROSSINGS = "length-first"
+
+    def key(self, bends: int, crossings: int, length: int) -> tuple[int, int, int]:
+        if self is CostOrder.BENDS_CROSSINGS_LENGTH:
+            return (bends, crossings, length)
+        return (bends, length, crossings)
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """A found connection and its cost."""
+
+    path: list[Point]
+    bends: int
+    crossings: int
+    length: int
+    states_expanded: int = 0
+
+
+@dataclass
+class SearchStats:
+    """Cumulative search effort (for the complexity experiments)."""
+
+    states_expanded: int = 0
+    routes: int = 0
+    failures: int = 0
+
+
+_State = tuple[Point, Direction]
+
+
+class _PlaneSnapshot:
+    """Flat per-net view of the plane for the search's inner loop.
+
+    Built once per connection (O(occupied points)); turns the plane's
+    per-step queries into set/dict lookups on bare ``(x, y)`` tuples.
+    """
+
+    __slots__ = (
+        "x1",
+        "y1",
+        "x2",
+        "y2",
+        "hard",
+        "foreign_any",
+        "blocked_h",
+        "blocked_v",
+        "cross_h",
+        "cross_v",
+    )
+
+    def __init__(self, plane: Plane, net: str, allow: frozenset[Point]) -> None:
+        bounds = plane.bounds
+        self.x1, self.y1 = bounds.x, bounds.y
+        self.x2, self.y2 = bounds.x2, bounds.y2
+        self.hard = (set(plane.blocked) | set(plane.claims)) - allow
+        # Points carrying any foreign wire (no turning/terminating there).
+        self.foreign_any: set[tuple[int, int]] = set()
+        # Points a wire moving horizontally/vertically may not enter.
+        self.blocked_h: set[tuple[int, int]] = set()
+        self.blocked_v: set[tuple[int, int]] = set()
+        # Crossing counts per point for horizontal/vertical passage.
+        self.cross_h: dict[tuple[int, int], int] = {}
+        self.cross_v: dict[tuple[int, int], int] = {}
+        horizontal = Orientation.HORIZONTAL
+        vertical = Orientation.VERTICAL
+        for point, nets in plane.usage.items():
+            foreign = False
+            for other, orientations in nets.items():
+                if other == net:
+                    continue
+                foreign = True
+                if point in plane.nodes.get(other, ()):  # bend/end/branch
+                    self.blocked_h.add(point)
+                    self.blocked_v.add(point)
+                    continue
+                if not orientations:  # degenerate single-point wire
+                    self.blocked_h.add(point)
+                    self.blocked_v.add(point)
+                    continue
+                if horizontal in orientations:
+                    self.blocked_h.add(point)
+                    self.cross_v[point] = self.cross_v.get(point, 0) + 1
+                if vertical in orientations:
+                    self.blocked_v.add(point)
+                    self.cross_h[point] = self.cross_h.get(point, 0) + 1
+            if foreign:
+                self.foreign_any.add(point)
+
+
+#: (dx, dy, moves_horizontally) per direction, and the opposite's index.
+_DIR_ORDER = [Direction.LEFT, Direction.RIGHT, Direction.UP, Direction.DOWN]
+_DIR_STEPS = [(d.dx, d.dy, d.dy == 0) for d in _DIR_ORDER]
+_DIR_INDEX = {d: i for i, d in enumerate(_DIR_ORDER)}
+_OPPOSITE = [1, 0, 3, 2]
+
+
+def route_connection(
+    plane: Plane,
+    net: str,
+    start: Point,
+    start_directions: Iterable[Direction],
+    targets: Mapping[Point, frozenset[Direction] | None] | Iterable[Point],
+    *,
+    allow: frozenset[Point] = frozenset(),
+    cost_order: CostOrder = CostOrder.BENDS_CROSSINGS_LENGTH,
+    stats: SearchStats | None = None,
+) -> RouteResult | None:
+    """Find the best path of ``net`` from ``start`` to any target point.
+
+    ``start_directions`` are the legal directions for the first wire
+    segment (perpendicular to and away from the module side for subsystem
+    terminals, all four for system terminals, section 5.6.3).
+
+    ``targets`` maps target points to the set of arrival directions that
+    are acceptable there (``None`` for any); a bare iterable of points
+    accepts any arrival direction.
+
+    Returns ``None`` when no connection exists — and only then.
+    """
+    if not isinstance(targets, Mapping):
+        targets = {p: None for p in targets}
+    if not targets:
+        return None
+    if start in targets:
+        return RouteResult(path=[start], bends=0, crossings=0, length=0)
+
+    snap = _PlaneSnapshot(plane, net, allow)
+    target_dirs: dict[tuple[int, int], frozenset[int] | None] = {}
+    for p, dirs in targets.items():
+        target_dirs[(p.x, p.y)] = (
+            None if dirs is None else frozenset(_DIR_INDEX[d] for d in dirs)
+        )
+
+    crossings_first = cost_order is CostOrder.BENDS_CROSSINGS_LENGTH
+    x1, y1, x2, y2 = snap.x1, snap.y1, snap.x2, snap.y2
+    hard = snap.hard
+    foreign_any = snap.foreign_any
+    blocked = (snap.blocked_h, snap.blocked_v)
+    crossings_at = (snap.cross_h, snap.cross_v)
+
+    counter = 0
+    heap: list = []
+    # state key: (x, y, dir_index) -> best cost tuple
+    best: dict[tuple[int, int, int], tuple[int, int, int]] = {}
+    parents: dict[tuple[int, int, int], tuple[int, int, int] | None] = {}
+    sx, sy = start.x, start.y
+    zero = (0, 0, 0)
+    for d in start_directions:
+        state = (sx, sy, _DIR_INDEX[d])
+        best[state] = zero
+        parents[state] = None
+        heapq.heappush(heap, (zero, counter, state))
+        counter += 1
+
+    expanded = 0
+    goal_state = None
+    goal_cost = None
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    while heap:
+        cost, _, state = heappop(heap)
+        if cost > best.get(state, cost):
+            continue  # stale entry
+        px, py, di = state
+        expanded += 1
+
+        point_key = (px, py)
+        arrival_ok = target_dirs.get(point_key, _MISSING)
+        if arrival_ok is not _MISSING and point_key != (sx, sy):
+            if (arrival_ok is None or di in arrival_ok) and (
+                point_key not in foreign_any
+            ):
+                goal_state, goal_cost = state, cost
+                break
+
+        can_turn = point_key not in foreign_any
+        c0, c1, length = cost
+        for ndi in range(4):
+            if ndi == _OPPOSITE[di]:
+                continue
+            turning = ndi != di
+            if turning and not can_turn:
+                continue
+            dx, dy, moves_h = _DIR_STEPS[ndi]
+            qx, qy = px + dx, py + dy
+            if not (x1 <= qx <= x2 and y1 <= qy <= y2):
+                continue
+            q = (qx, qy)
+            if q in hard or q in blocked[0 if moves_h else 1]:
+                continue
+            cross = crossings_at[0 if moves_h else 1].get(q, 0)
+            if crossings_first:
+                ncost = (c0 + turning, c1 + cross, length + 1)
+            else:
+                ncost = (c0 + turning, c1 + 1, length + cross)
+            nstate = (qx, qy, ndi)
+            old = best.get(nstate)
+            if old is None or ncost < old:
+                best[nstate] = ncost
+                parents[nstate] = state
+                heappush(heap, (ncost, counter, nstate))
+                counter += 1
+
+    if stats is not None:
+        stats.states_expanded += expanded
+        stats.routes += 1
+        if goal_state is None:
+            stats.failures += 1
+    if goal_state is None or goal_cost is None:
+        return None
+
+    path: list[Point] = []
+    cursor = goal_state
+    while cursor is not None:
+        path.append(Point(cursor[0], cursor[1]))
+        cursor = parents[cursor]
+    path.reverse()
+    bends, crossings, length = _unkey(goal_cost, cost_order)
+    return RouteResult(
+        path=normalize_path(path),
+        bends=bends,
+        crossings=crossings,
+        length=length,
+        states_expanded=expanded,
+    )
+
+
+_MISSING = object()
+_INF = (1 << 60, 1 << 60, 1 << 60)
+
+
+def _unkey(
+    cost: tuple[int, int, int], order: CostOrder
+) -> tuple[int, int, int]:
+    """Invert :meth:`CostOrder.key` back to (bends, crossings, length)."""
+    if order is CostOrder.BENDS_CROSSINGS_LENGTH:
+        return cost
+    bends, length, crossings = cost
+    return (bends, crossings, length)
+
+
+def start_directions_for(side_outward: Direction | None) -> list[Direction]:
+    """Initial expansion directions for a terminal (INIT_ACTIVES):
+    subsystem terminals leave perpendicular to their module side, system
+    terminals expand in all four directions."""
+    if side_outward is None:
+        return list(Direction)
+    return [side_outward]

@@ -1,0 +1,100 @@
+"""Rip-up-and-reroute: the paper's manual completion flow, automated.
+
+In example 3 the paper finishes the two unroutable LIFE nets by hand:
+"After adjusting some nets by hand, the routing program was started again
+to complete the diagram."  This module automates that: for every failed
+net, rip up the routed nets whose geometry crowds the failed terminals,
+then run EUREKA again over everything unrouted.  Repeated a few times
+this completes diagrams the single-pass router leaves at 99%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.diagram import Diagram
+from ..core.geometry import Point
+from .eureka import RouterOptions, route_diagram
+
+
+@dataclass
+class RipupReport:
+    """What the completion loop did."""
+
+    iterations: int = 0
+    ripped_nets: list[str] = field(default_factory=list)
+    still_failed: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.still_failed
+
+
+def _blockers_near(
+    diagram: Diagram, failed_net: str, radius: int, limit: int
+) -> list[str]:
+    """Routed nets with geometry within ``radius`` of the failed net's
+    pins, nearest first."""
+    net = diagram.network.nets[failed_net]
+    pin_points = [diagram.pin_position(p) for p in net.pins]
+    scored: list[tuple[int, str]] = []
+    for name, route in diagram.routes.items():
+        if name == failed_net or not route.paths:
+            continue
+        best = min(
+            (
+                min(abs(q.x - p.x) + abs(q.y - p.y) for p in pin_points)
+                for q in _route_vertices(route)
+            ),
+            default=1 << 30,
+        )
+        if best <= radius:
+            scored.append((best, name))
+    scored.sort()
+    return [name for _d, name in scored[:limit]]
+
+
+def _route_vertices(route) -> list[Point]:
+    return [p for path in route.paths for p in path]
+
+
+def reroute_failed(
+    diagram: Diagram,
+    options: RouterOptions | None = None,
+    *,
+    max_iterations: int = 4,
+    radius: int = 6,
+    rip_per_net: int = 4,
+) -> RipupReport:
+    """Complete a mostly-routed diagram by ripping up local blockers of
+    each failed net and rerouting.  Mutates the diagram in place."""
+    options = options or RouterOptions()
+    report = RipupReport()
+    for _ in range(max_iterations):
+        failed = [
+            name for name, route in diagram.routes.items() if route.failed_pins
+        ] + [
+            name
+            for name in diagram.unrouted_nets
+            if name not in diagram.routes or not diagram.routes[name].paths
+        ]
+        failed = sorted(set(failed))
+        if not failed:
+            break
+        report.iterations += 1
+        for name in failed:
+            for blocker in _blockers_near(diagram, name, radius, rip_per_net):
+                diagram.routes.pop(blocker, None)
+                report.ripped_nets.append(blocker)
+            diagram.routes.pop(name, None)
+        # The previously failed nets route first, onto the freed tracks;
+        # the ripped blockers then route around them.
+        route_diagram(diagram, options, only_nets=failed)
+        route_diagram(diagram, options)
+    report.still_failed = sorted(
+        set(
+            [n for n, r in diagram.routes.items() if r.failed_pins]
+            + diagram.unrouted_nets
+        )
+    )
+    return report

@@ -1,0 +1,21 @@
+"""Logic simulation: the ESCHER+ substitute used to validate diagrams."""
+
+from .logic import Behavior, LogicSimulator, SimulationError
+from .behaviors import Combinational, DFlipFlop, LifeCell, default_behaviors
+from .life_sim import LifeMachine
+from .trace import Trace, record, render_waveforms, write_vcd
+
+__all__ = [
+    "Behavior",
+    "LogicSimulator",
+    "SimulationError",
+    "Combinational",
+    "DFlipFlop",
+    "LifeCell",
+    "default_behaviors",
+    "LifeMachine",
+    "Trace",
+    "record",
+    "render_waveforms",
+    "write_vcd",
+]

@@ -1,0 +1,189 @@
+"""Behavioural models for the standard module library.
+
+Every template of :mod:`repro.workloads.stdlib` gets a :class:`Behavior`
+so any network built from the library can be simulated — including the
+LIFE machine (cells, controller, clock generator).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.netlist import Module, Network
+
+
+class Combinational:
+    """A stateless module computed by a function of its inputs."""
+
+    def __init__(self, fn: Callable[[Mapping[str, int]], Mapping[str, int]]) -> None:
+        self._fn = fn
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        return self._fn(inputs)
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        pass
+
+
+class DFlipFlop:
+    """One-bit register; samples ``d`` on every global tick."""
+
+    def __init__(self, data_in: str = "d", data_out: str = "q") -> None:
+        self.state = 0
+        self._in = data_in
+        self._out = data_out
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        return {self._out: self.state}
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        self.state = int(inputs.get(self._in, 0))
+
+
+class EnabledRegister:
+    """Register with enable: loads ``d`` on tick when ``en`` is high."""
+
+    def __init__(self) -> None:
+        self.state = 0
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        return {"q": self.state}
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        if inputs.get("en", 0):
+            self.state = int(inputs.get("d", 0))
+
+
+class LifeCell:
+    """A LIFE cell: loads the seed bit when ``load`` is high, otherwise
+    applies Conway's rules to its eight neighbour inputs on every tick.
+    All eight outputs mirror the registered state."""
+
+    def __init__(self) -> None:
+        self.state = 0
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        return {f"o{k}": self.state for k in range(8)}
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        if inputs.get("load", 0):
+            self.state = int(inputs.get("data", 0))
+            return
+        if not inputs.get("clk", 0):
+            return  # row clock gated off (e.g. while other rows seed)
+        alive = sum(int(inputs.get(f"n{k}", 0)) for k in range(8))
+        self.state = 1 if alive == 3 or (self.state == 1 and alive == 2) else 0
+
+
+class LifeController:
+    """Seeds the board row by row (cycles 0..4: assert ``load{row}`` and
+    drive the columns' seed bits), then lets the array run freely and
+    raises ``done``."""
+
+    def __init__(self, seed: np.ndarray) -> None:
+        if seed.shape != (5, 5):
+            raise ValueError("LIFE seed must be a 5x5 array")
+        self.seed = seed.astype(int)
+        self.cycle = 0
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        out: dict[str, int] = {"enable": 1}
+        loading = self.cycle < 5
+        clk = int(inputs.get("clk", 0))
+        for r in range(5):
+            out[f"load{r}"] = 1 if (loading and r == self.cycle) else 0
+            # Row clocks stay gated off until the whole board is seeded.
+            out[f"rowclk{r}"] = 0 if loading else clk
+        for c in range(5):
+            out[f"data{c}"] = int(self.seed[self.cycle, c]) if loading else 0
+        out["done"] = 0 if loading else 1
+        return out
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        self.cycle += 1
+
+
+class ClockGenerator:
+    """Forwards the external clock when enabled and emits a tick pulse."""
+
+    def __init__(self) -> None:
+        self.phase = 0
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        enabled = int(inputs.get("enable", 1))
+        clk = int(inputs.get("clk_in", 0)) & enabled
+        return {"clk": clk, "tick": self.phase & 1}
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        self.phase += 1
+
+
+def _gate(fn: Callable[[int, int], int]) -> Combinational:
+    return Combinational(lambda ins: {"y": fn(ins.get("a", 0), ins.get("b", 0))})
+
+
+def _alu(ins: Mapping[str, int]) -> Mapping[str, int]:
+    a, b, op = ins.get("a", 0), ins.get("b", 0), ins.get("op", 0)
+    y = (a ^ b) if op else (a & b)
+    return {"y": y, "flag": int(a == b)}
+
+
+def _fulladder(ins: Mapping[str, int]) -> Mapping[str, int]:
+    total = ins.get("a", 0) + ins.get("b", 0) + ins.get("cin", 0)
+    return {"sum": total & 1, "cout": total >> 1}
+
+
+def _mux(ins: Mapping[str, int]) -> Mapping[str, int]:
+    return {"y": ins.get("b", 0) if ins.get("sel", 0) else ins.get("a", 0)}
+
+
+def _controller(ins: Mapping[str, int]) -> Mapping[str, int]:
+    run = ins.get("run", 0)
+    return {f"c{k}": run for k in range(10)}
+
+
+def behavior_for(module: Module, **context) -> object:
+    """Default behaviour for a standard-library module instance.
+
+    ``context`` may carry ``life_seed`` (numpy 5x5) for LIFE controllers.
+    """
+    template = module.template
+    if template in ("buf",):
+        return Combinational(lambda ins: {"y": ins.get("a", 0)})
+    if template == "inv":
+        return Combinational(lambda ins: {"y": 1 - (ins.get("a", 0) & 1)})
+    if template == "and2":
+        return _gate(lambda a, b: a & b)
+    if template == "or2":
+        return _gate(lambda a, b: a | b)
+    if template == "xor2":
+        return _gate(lambda a, b: a ^ b)
+    if template == "dff":
+        return DFlipFlop()
+    if template == "mux2":
+        return Combinational(_mux)
+    if template == "fulladder":
+        return Combinational(_fulladder)
+    if template == "register":
+        return EnabledRegister()
+    if template == "alu":
+        return Combinational(_alu)
+    if template == "controller":
+        return Combinational(_controller)
+    if template == "life_cell":
+        return LifeCell()
+    if template == "life_controller":
+        return LifeController(context.get("life_seed", np.zeros((5, 5))))
+    if template == "clock_generator":
+        return ClockGenerator()
+    raise KeyError(f"no default behaviour for template {template!r}")
+
+
+def default_behaviors(network: Network, **context) -> dict[str, object]:
+    """Behaviours for every module of a standard-library network."""
+    return {
+        name: behavior_for(module, **context)
+        for name, module in network.modules.items()
+    }

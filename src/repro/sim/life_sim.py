@@ -1,0 +1,74 @@
+"""Simulating the LIFE machine (chapter 6, example 3).
+
+Builds a :class:`~repro.sim.logic.LogicSimulator` over the LIFE network —
+either from the net-list, or from the connectivity extracted from a routed
+diagram (the ESCHER+ check).  The machine seeds itself in the first five
+cycles (one row per cycle through the load/data nets), then every further
+cycle is one Game-of-Life generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.diagram import Diagram
+from ..core.netlist import Network
+from ..core.validate import extract_connectivity
+from ..workloads.life import COLS, ROWS, cell_name, life_network
+from .behaviors import default_behaviors
+from .logic import LogicSimulator, SimulationError
+
+SEED_CYCLES = ROWS
+
+
+class LifeMachine:
+    """Convenience wrapper: seed, run generations, read the board."""
+
+    def __init__(
+        self,
+        seed: np.ndarray,
+        *,
+        network: Network | None = None,
+        diagram: Diagram | None = None,
+    ) -> None:
+        """With ``diagram`` given, connectivity comes from its routed
+        geometry — every pin of every net must be reached by the routing
+        (the paper's fully-routed precondition for simulation)."""
+        if network is None:
+            network = diagram.network if diagram is not None else life_network()
+        connectivity = None
+        if diagram is not None:
+            connectivity = extract_connectivity(diagram)
+            expected = {
+                pin for net in network.nets.values() for pin in net.pins
+            }
+            missing = expected - set(connectivity)
+            if missing:
+                raise SimulationError(
+                    f"diagram does not connect {len(missing)} pins "
+                    f"(e.g. {sorted(missing, key=str)[:3]}); "
+                    "route the remaining nets before simulating"
+                )
+        self.sim = LogicSimulator(
+            network,
+            default_behaviors(network, life_seed=seed),
+            connectivity=connectivity,
+        )
+        self.sim.run(SEED_CYCLES, clk_in=1, run=1)
+
+    def board(self) -> np.ndarray:
+        """The current cell states as a 5x5 array (row 0 = top)."""
+        out = np.zeros((ROWS, COLS), dtype=np.int8)
+        for r in range(ROWS):
+            for c in range(COLS):
+                out[r, c] = self.sim.behaviors[cell_name(r, c)].state
+        return out
+
+    def step_generation(self, generations: int = 1) -> np.ndarray:
+        self.sim.run(generations, clk_in=1, run=1)
+        return self.board()
+
+    @property
+    def done(self) -> int:
+        self.sim.settle()
+        return self.sim.read_output("done")

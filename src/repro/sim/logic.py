@@ -1,0 +1,145 @@
+"""An event-free cycle-based logic simulator.
+
+The paper validated routed diagrams by simulating them with the ESCHER+
+simulator ("the results were positive").  This simulator plays that role:
+it can run over the net-list connectivity *or* over connectivity extracted
+from routed geometry (:func:`repro.core.validate.extract_connectivity`),
+so a diagram simulating correctly proves the drawn artwork is electrically
+the input network.
+
+The model is synchronous: every module has a :class:`Behavior` with a
+combinational ``evaluate`` (settled to a fixpoint each cycle) and a
+``tick`` called on the global clock edge.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+from ..core.netlist import Network, Pin, TermType
+
+
+class SimulationError(RuntimeError):
+    """Raised on driver conflicts or non-converging combinational loops."""
+
+
+class Behavior(Protocol):
+    """The behavioural model of one module."""
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Mapping[str, int]:
+        """Combinational outputs given current input terminal values."""
+        ...
+
+    def tick(self, inputs: Mapping[str, int]) -> None:
+        """State update on the global clock edge."""
+        ...
+
+
+class LogicSimulator:
+    """Simulate a network with per-module behaviours.
+
+    ``connectivity`` maps every pin to its net name; by default it is
+    taken from the net-list, but passing the mapping extracted from a
+    routed diagram simulates the *artwork* instead of the intent.
+    """
+
+    MAX_SETTLE_ITERATIONS = 64
+
+    def __init__(
+        self,
+        network: Network,
+        behaviors: Mapping[str, Behavior],
+        *,
+        connectivity: Mapping[Pin, str] | None = None,
+    ) -> None:
+        self.network = network
+        missing = set(network.modules) - set(behaviors)
+        if missing:
+            raise SimulationError(f"no behaviour for modules: {sorted(missing)}")
+        self.behaviors = dict(behaviors)
+        if connectivity is None:
+            connectivity = {
+                pin: net.name
+                for net in network.nets.values()
+                for pin in net.pins
+            }
+        self.connectivity = dict(connectivity)
+        self.net_values: dict[str, int] = {}
+        self.system_inputs: dict[str, int] = {
+            name: 0
+            for name, st in network.system_terminals.items()
+            if st.type is not TermType.OUT
+        }
+        self.cycles = 0
+
+    # -- wiring helpers ---------------------------------------------------
+
+    def _module_inputs(self, module: str) -> dict[str, int]:
+        values: dict[str, int] = {}
+        for tname, term in self.network.modules[module].terminals.items():
+            if not term.type.listens:
+                continue
+            net = self.connectivity.get(Pin(module, tname))
+            values[tname] = self.net_values.get(net, 0) if net else 0
+        return values
+
+    def set_input(self, terminal: str, value: int) -> None:
+        if terminal not in self.system_inputs:
+            raise SimulationError(f"{terminal!r} is not a system input")
+        self.system_inputs[terminal] = int(value)
+
+    def read_output(self, terminal: str) -> int:
+        net = self.connectivity.get(Pin(None, terminal))
+        if net is None:
+            raise SimulationError(f"system terminal {terminal!r} is unconnected")
+        return self.net_values.get(net, 0)
+
+    # -- simulation ------------------------------------------------------
+
+    def settle(self) -> dict[str, int]:
+        """Propagate combinational values to a fixpoint; returns net values."""
+        for _ in range(self.MAX_SETTLE_ITERATIONS):
+            new_values: dict[str, list[int]] = {}
+            for name, value in self.system_inputs.items():
+                net = self.connectivity.get(Pin(None, name))
+                if net is not None:
+                    new_values.setdefault(net, []).append(value)
+            for module, behavior in self.behaviors.items():
+                outputs = behavior.evaluate(self._module_inputs(module))
+                for tname, value in outputs.items():
+                    term = self.network.modules[module].terminals.get(tname)
+                    if term is None or not term.type.drives:
+                        raise SimulationError(
+                            f"behaviour of {module!r} drives non-output {tname!r}"
+                        )
+                    net = self.connectivity.get(Pin(module, tname))
+                    if net is not None:
+                        new_values.setdefault(net, []).append(int(value))
+            resolved: dict[str, int] = {}
+            for net, drivers in new_values.items():
+                distinct = set(drivers)
+                if len(distinct) > 1:
+                    raise SimulationError(
+                        f"net {net!r} driven to conflicting values {sorted(distinct)}"
+                    )
+                resolved[net] = drivers[0]
+            if resolved == self.net_values:
+                return dict(self.net_values)
+            self.net_values = resolved
+        raise SimulationError("combinational values did not settle (loop?)")
+
+    def step(self, **inputs: int) -> dict[str, int]:
+        """One clock cycle: apply inputs, settle, tick; returns net values."""
+        for name, value in inputs.items():
+            self.set_input(name, value)
+        values = self.settle()
+        for module, behavior in self.behaviors.items():
+            behavior.tick(self._module_inputs(module))
+        self.cycles += 1
+        return values
+
+    def run(self, cycles: int, **inputs: int) -> dict[str, int]:
+        values: dict[str, int] = {}
+        for _ in range(cycles):
+            values = self.step(**inputs)
+        return values

@@ -1,0 +1,129 @@
+"""Signal tracing for the logic simulator.
+
+The paper's editor "invoke[s] the simulator and ... display[s] the
+results"; this module records per-cycle net values while the simulator
+runs and renders them as ASCII waveforms or a VCD file any waveform
+viewer opens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .logic import LogicSimulator
+
+
+@dataclass
+class Trace:
+    """Recorded net values, one sample per simulated cycle."""
+
+    signals: dict[str, list[int]] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return max((len(v) for v in self.signals.values()), default=0)
+
+    def sample(self, values: Mapping[str, int], nets: Iterable[str]) -> None:
+        for net in nets:
+            self.signals.setdefault(net, []).append(int(values.get(net, 0)))
+
+    def changes(self, net: str) -> list[tuple[int, int]]:
+        """(cycle, new value) pairs where the net toggles."""
+        out: list[tuple[int, int]] = []
+        previous: int | None = None
+        for cycle, value in enumerate(self.signals.get(net, [])):
+            if value != previous:
+                out.append((cycle, value))
+                previous = value
+        return out
+
+
+def record(
+    sim: LogicSimulator,
+    cycles: int,
+    *,
+    nets: Iterable[str] | None = None,
+    inputs: Mapping[str, int] | None = None,
+) -> Trace:
+    """Run the simulator for ``cycles`` steps recording net values.
+
+    ``nets`` defaults to every net of the network; ``inputs`` are applied
+    on every step (drive changing stimuli by calling ``record`` again).
+    """
+    watch = list(nets) if nets is not None else sorted(sim.network.nets)
+    trace = Trace()
+    for _ in range(cycles):
+        values = sim.step(**(inputs or {}))
+        trace.sample(values, watch)
+    return trace
+
+
+def render_waveforms(trace: Trace, *, nets: Iterable[str] | None = None) -> str:
+    """ASCII waveforms: one row per net, high/low drawn per cycle."""
+    names = list(nets) if nets is not None else sorted(trace.signals)
+    if not names:
+        return "(no signals)"
+    width = max(len(n) for n in names)
+    rows = []
+    for name in names:
+        values = trace.signals.get(name, [])
+        wave = "".join("▔" if v else "▁" for v in values)
+        rows.append(f"{name.ljust(width)} {wave}")
+    return "\n".join(rows)
+
+
+def write_vcd(
+    trace: Trace,
+    path: str | Path,
+    *,
+    design: str = "repro",
+    timescale: str = "1 ns",
+) -> Path:
+    """Write the trace as a Value Change Dump file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = sorted(trace.signals)
+    codes = {name: _vcd_code(i) for i, name in enumerate(names)}
+    lines = [
+        "$date repro trace $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {design} $end",
+    ]
+    for name in names:
+        lines.append(f"$var wire 1 {codes[name]} {name} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+    lines.append("$dumpvars")
+    for name in names:
+        first = trace.signals[name][0] if trace.signals[name] else 0
+        lines.append(f"{first}{codes[name]}")
+    lines.append("$end")
+    for cycle in range(trace.cycles):
+        emitted: list[str] = []
+        for name in names:
+            values = trace.signals[name]
+            if cycle < len(values) and (
+                cycle == 0 or values[cycle] != values[cycle - 1]
+            ):
+                if cycle > 0:
+                    emitted.append(f"{values[cycle]}{codes[name]}")
+        if emitted:
+            lines.append(f"#{cycle}")
+            lines.extend(emitted)
+    lines.append(f"#{trace.cycles}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+_VCD_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+def _vcd_code(index: int) -> str:
+    """Short printable identifier codes, VCD style."""
+    out = ""
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, len(_VCD_ALPHABET))
+        out = _VCD_ALPHABET[digit] + out
+    return out

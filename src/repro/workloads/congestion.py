@@ -1,0 +1,60 @@
+"""Congestion workloads for the claimpoint experiments (section 5.7).
+
+The failure mode claimpoints fix is the figure 5.10 situation: a terminal
+whose only escape track gets taken by an earlier net.  This module builds
+placed diagrams full of exactly that pattern — rows of module pairs
+facing each other across a channel just wide enough for all their nets,
+with pin orderings that invite early nets to wall later terminals in.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.diagram import Diagram
+from ..core.geometry import Point
+from ..core.netlist import Network
+from .stdlib import make_module
+
+
+def facing_pairs_diagram(
+    *, pairs: int = 6, nets_per_pair: int = 3, channel: int | None = None, seed: int = 0
+) -> Diagram:
+    """A placed network of ``pairs`` module pairs facing each other.
+
+    Each pair has ``nets_per_pair`` straight-across connections whose pin
+    heights are shuffled so routing them in the driver's order tends to
+    block channel tracks in front of unrouted terminals.  ``channel`` is
+    the channel width in tracks (default: just enough, ``nets_per_pair``).
+    """
+    rng = random.Random(seed)
+    channel = channel if channel is not None else nets_per_pair
+    height = 2 * nets_per_pair + 2
+    net_obj = Network(name=f"facing_{pairs}x{nets_per_pair}")
+    diagram = Diagram(net_obj)
+
+    y_cursor = 0
+    for p in range(pairs):
+        left_ys = rng.sample(range(1, height), nets_per_pair)
+        right_ys = rng.sample(range(1, height), nets_per_pair)
+        left = make_module(
+            f"L{p}",
+            4,
+            height,
+            [(f"t{i}", "out", 4, y) for i, y in enumerate(left_ys)],
+        )
+        right = make_module(
+            f"R{p}",
+            4,
+            height,
+            [(f"t{i}", "in", 0, y) for i, y in enumerate(right_ys)],
+        )
+        net_obj.add_module(left)
+        net_obj.add_module(right)
+        for i in range(nets_per_pair):
+            net_obj.connect(f"n{p}_{i}", f"L{p}.t{i}", f"R{p}.t{i}")
+        diagram.place_module(f"L{p}", Point(0, y_cursor))
+        diagram.place_module(f"R{p}", Point(4 + channel + 1, y_cursor))
+        y_cursor += height + 2
+    net_obj.validate()
+    return diagram

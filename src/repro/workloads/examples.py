@@ -1,0 +1,73 @@
+"""The paper's example networks (chapter 6).
+
+The report does not publish its net-lists, only their sizes and character,
+so these generators synthesize networks with exactly the module and net
+counts of Table 6.1 and the structural character visible in the figures
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from ..core.netlist import Network, TermType
+from .stdlib import instantiate
+
+
+def example1_string() -> Network:
+    """Example 1 (figure 6.1): 6 modules, 6 nets, one partition with one
+    box — a single string of connected modules."""
+    net = Network(name="example1")
+    chain = [
+        ("d0", "dff"),
+        ("b1", "buf"),
+        ("i2", "inv"),
+        ("b3", "buf"),
+        ("i4", "inv"),
+        ("d5", "dff"),
+    ]
+    for name, template in chain:
+        net.add_module(instantiate(template, name))
+    net.add_system_terminal("din", TermType.IN)
+
+    net.connect("n_in", "din", "d0.d")
+    net.connect("n1", "d0.q", "b1.a")
+    net.connect("n2", "b1.y", "i2.a")
+    net.connect("n3", "i2.y", "b3.a")
+    net.connect("n4", "b3.y", "i4.a")
+    net.connect("n5", "i4.y", "d5.d")
+    net.validate()
+    assert len(net.modules) == 6 and len(net.nets) == 6
+    return net
+
+
+def example2_controller() -> Network:
+    """Example 2 (figures 6.2–6.5): 16 modules, 24 nets — a controller in
+    the center commanding three functional clusters of five modules."""
+    net = Network(name="example2")
+    net.add_module(instantiate("controller", "ctl"))
+    for i in range(3):
+        net.add_module(instantiate("register", f"reg{i}"))
+        net.add_module(instantiate("alu", f"alu{i}"))
+        net.add_module(instantiate("mux2", f"mux{i}"))
+        net.add_module(instantiate("register", f"out{i}"))
+        net.add_module(instantiate("buf", f"buf{i}"))
+
+    for i in range(3):
+        net.add_system_terminal(f"res{i}", TermType.OUT)
+
+    for i in range(3):
+        # The cluster datapath string: reg -> alu -> mux -> out -> buf.
+        net.connect(f"d{i}_0", f"reg{i}.q", f"alu{i}.a")
+        net.connect(f"d{i}_1", f"alu{i}.y", f"mux{i}.a")
+        net.connect(f"d{i}_2", f"mux{i}.y", f"out{i}.d")
+        net.connect(f"d{i}_3", f"out{i}.q", f"buf{i}.a", f"res{i}")
+        # Three control nets from the central controller per cluster.
+        net.connect(f"c{i}_en", f"ctl.c{3 * i}", f"reg{i}.en")
+        net.connect(f"c{i}_op", f"ctl.c{3 * i + 1}", f"alu{i}.op")
+        net.connect(f"c{i}_sel", f"ctl.c{3 * i + 2}", f"mux{i}.sel")
+    # The clusters feed each other in a ring through the buffers.
+    for i in range(3):
+        net.connect(f"x{i}", f"buf{i}.y", f"alu{(i + 1) % 3}.b")
+
+    net.validate()
+    assert len(net.modules) == 16 and len(net.nets) == 24
+    return net

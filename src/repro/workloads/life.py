@@ -1,0 +1,156 @@
+"""The game "LIFE" network (chapter 6, example 3).
+
+The paper routes a network "showing the game LIFE" with 27 modules and
+222 nets (figures 6.6 and 6.7).  The original net-list is unpublished; we
+synthesize a machine with exactly those counts (see DESIGN.md):
+
+* a 5x5 torus of :data:`~repro.workloads.stdlib.life_cell` modules, each
+  with eight per-neighbour buffered outputs, so every neighbour link is
+  its own two-pin net — 200 nets,
+* a controller distributing per-row clocks and load enables and per-column
+  seed data — 15 multipoint nets,
+* a clock generator and four system terminals — 7 more nets,
+
+for 25 + 2 = 27 modules and 200 + 15 + 7 = 222 nets.
+
+The module also provides the hand placement used for figure 6.6 and a
+numpy reference implementation of Conway's rules on the torus for the
+simulation check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.diagram import Diagram
+from ..core.geometry import Point
+from ..core.netlist import Network, TermType
+from .stdlib import instantiate
+
+ROWS = 5
+COLS = 5
+
+#: Neighbour offsets in (row, col), index k and 7-k are opposite.
+NEIGHBOUR_OFFSETS: list[tuple[int, int]] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+]
+
+
+def cell_name(row: int, col: int) -> str:
+    return f"cell_{row}_{col}"
+
+
+def life_network() -> Network:
+    """The 27-module / 222-net LIFE network."""
+    net = Network(name="life")
+    for r in range(ROWS):
+        for c in range(COLS):
+            net.add_module(instantiate("life_cell", cell_name(r, c)))
+    net.add_module(instantiate("life_controller", "ctl"))
+    net.add_module(instantiate("clock_generator", "clkgen"))
+
+    net.add_system_terminal("clk_in", TermType.IN)
+    net.add_system_terminal("run", TermType.IN)
+    net.add_system_terminal("reset", TermType.IN)
+    net.add_system_terminal("done", TermType.OUT)
+
+    # 200 point-to-point neighbour nets: output o{k} of a cell drives
+    # input n{7-k} of its neighbour in direction k (torus wrap-around).
+    for r in range(ROWS):
+        for c in range(COLS):
+            for k, (dr, dc) in enumerate(NEIGHBOUR_OFFSETS):
+                nr, nc = (r + dr) % ROWS, (c + dc) % COLS
+                net.connect(
+                    f"nb_{r}_{c}_{k}",
+                    f"{cell_name(r, c)}.o{k}",
+                    f"{cell_name(nr, nc)}.n{7 - k}",
+                )
+
+    # Row clocks and load enables, column seed data (15 multipoint nets).
+    for r in range(ROWS):
+        net.connect(f"rowclk{r}", f"ctl.rowclk{r}")
+        net.connect(f"load{r}", f"ctl.load{r}")
+        for c in range(COLS):
+            net.connect(f"rowclk{r}", f"{cell_name(r, c)}.clk")
+            net.connect(f"load{r}", f"{cell_name(r, c)}.load")
+    for c in range(COLS):
+        net.connect(f"data{c}", f"ctl.data{c}")
+        for r in range(ROWS):
+            net.connect(f"data{c}", f"{cell_name(r, c)}.data")
+
+    # Clocking and the system interface (7 nets).
+    net.connect("clk", "clkgen.clk", "ctl.clk")
+    net.connect("tick", "clkgen.tick", "ctl.tick")
+    net.connect("enable", "ctl.enable", "clkgen.enable")
+    net.connect("n_clk_in", "clk_in", "clkgen.clk_in")
+    net.connect("n_run", "run", "ctl.run")
+    net.connect("n_reset", "reset", "ctl.reset")
+    net.connect("n_done", "done", "ctl.done")
+
+    net.validate()
+    assert len(net.modules) == 27 and len(net.nets) == 222
+    return net
+
+
+def hand_placement(network: Network | None = None, *, pitch: int = 20) -> Diagram:
+    """The figure 6.6 flow: the modules placed by hand on a regular grid
+    (cells in a 5x5 array, controller and clock generator on the left),
+    leaving the routing to EUREKA.
+
+    Row 0 sits at the top so the torus's north direction is up; the torus
+    wrap-around wires run around the array periphery, which the router's
+    plane margin must leave room for (use ``RouterOptions(margin>=12)``).
+    """
+    network = network or life_network()
+    diagram = Diagram(network)
+    x0 = 24  # room for the controller column and its wiring on the left
+    for r in range(ROWS):
+        for c in range(COLS):
+            diagram.place_module(
+                cell_name(r, c), Point(x0 + c * pitch, (ROWS - 1 - r) * pitch)
+            )
+    mid = ((ROWS - 1) * pitch + 8) // 2
+    diagram.place_module("ctl", Point(0, mid + 4))
+    diagram.place_module("clkgen", Point(2, mid - 12))
+
+    left = -16  # outside the wrap-wire periphery
+    diagram.place_system_terminal("run", Point(left, mid + 8))
+    diagram.place_system_terminal("reset", Point(left, mid + 10))
+    diagram.place_system_terminal("done", Point(left, mid + 4))
+    diagram.place_system_terminal("clk_in", Point(left, mid - 10))
+    return diagram
+
+
+def reference_life_step(board: np.ndarray) -> np.ndarray:
+    """One generation of Conway's rules on the 5x5 torus (the model the
+    simulated diagram must match)."""
+    neighbours = sum(
+        np.roll(np.roll(board, dr, axis=0), dc, axis=1)
+        for dr, dc in NEIGHBOUR_OFFSETS
+    )
+    return ((neighbours == 3) | ((board == 1) & (neighbours == 2))).astype(np.int8)
+
+
+def reference_life_run(seed: np.ndarray, generations: int) -> np.ndarray:
+    board = seed.astype(np.int8)
+    for _ in range(generations):
+        board = reference_life_step(board)
+    return board
+
+GLIDER = np.array(
+    [
+        [0, 1, 0, 0, 0],
+        [0, 0, 1, 0, 0],
+        [1, 1, 1, 0, 0],
+        [0, 0, 0, 0, 0],
+        [0, 0, 0, 0, 0],
+    ],
+    dtype=np.int8,
+)

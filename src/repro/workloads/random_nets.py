@@ -1,0 +1,118 @@
+"""Seeded random netlist generation.
+
+Used by the property-based tests and the ablation benchmarks: produces
+networks of standard-library modules with a mostly feed-forward net
+structure (so box formation finds strings) plus optional random
+multipoint control nets and system terminals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.netlist import Network, Pin, TermType
+from .stdlib import instantiate
+
+_DATAPATH_TEMPLATES = ["buf", "inv", "and2", "or2", "xor2", "dff", "mux2", "register"]
+
+
+@dataclass(frozen=True)
+class RandomNetworkSpec:
+    """Shape of a random network."""
+
+    modules: int = 10
+    extra_nets: int = 3
+    multipoint_fraction: float = 0.2
+    system_terminals: int = 2
+    seed: int = 0
+
+
+def random_network(spec: RandomNetworkSpec | None = None, **overrides) -> Network:
+    """Generate a connected, validated random network."""
+    spec = spec or RandomNetworkSpec()
+    if overrides:
+        spec = RandomNetworkSpec(**{**spec.__dict__, **overrides})
+    rng = random.Random(spec.seed)
+    net = Network(name=f"random_{spec.seed}")
+
+    names = [f"m{i}" for i in range(spec.modules)]
+    for name in names:
+        net.add_module(instantiate(rng.choice(_DATAPATH_TEMPLATES), name))
+
+    # A spanning feed-forward chain keeps everything connected: each
+    # module's output drives a free input of a later module.
+    free_inputs: dict[str, list[str]] = {
+        name: [t.name for t in net.modules[name].terminals.values() if t.type.listens]
+        for name in names
+    }
+    used_outputs: set[tuple[str, str]] = set()
+    net_id = 0
+    for i, name in enumerate(names[:-1]):
+        sink = names[rng.randrange(i + 1, len(names))]
+        if not free_inputs[sink]:
+            continue
+        out_term = _pick_output(net, name, used_outputs, rng)
+        if out_term is None:
+            continue
+        in_term = free_inputs[sink].pop(rng.randrange(len(free_inputs[sink])))
+        net.connect(f"n{net_id}", (name, out_term), (sink, in_term))
+        used_outputs.add((name, out_term))
+        net_id += 1
+
+    # Extra nets: some point-to-point, some multipoint fanout.
+    for _ in range(spec.extra_nets):
+        source = rng.choice(names)
+        out_term = _pick_output(net, source, used_outputs, rng)
+        if out_term is None:
+            continue
+        fanout = 1
+        if rng.random() < spec.multipoint_fraction:
+            fanout = rng.randint(2, 3)
+        sinks = []
+        for _ in range(fanout):
+            candidates = [n for n in names if n != source and free_inputs[n]]
+            if not candidates:
+                break
+            sink = rng.choice(candidates)
+            in_term = free_inputs[sink].pop(rng.randrange(len(free_inputs[sink])))
+            sinks.append((sink, in_term))
+        if not sinks:
+            continue
+        net.connect(f"n{net_id}", (source, out_term), *sinks)
+        used_outputs.add((source, out_term))
+        net_id += 1
+
+    # System terminals ride on inputs of modules with free input pins.
+    for t in range(spec.system_terminals):
+        candidates = [n for n in names if free_inputs[n]]
+        if not candidates:
+            break
+        sink = rng.choice(candidates)
+        in_term = free_inputs[sink].pop(rng.randrange(len(free_inputs[sink])))
+        st = f"ext{t}"
+        net.add_system_terminal(st, TermType.IN)
+        net.connect(f"n{net_id}", Pin(None, st), (sink, in_term))
+        net_id += 1
+
+    _drop_degenerate_nets(net)
+    net.validate()
+    return net
+
+
+def _pick_output(
+    net: Network, module: str, used: set[tuple[str, str]], rng: random.Random
+) -> str | None:
+    outs = [
+        t.name
+        for t in net.modules[module].terminals.values()
+        if t.type.drives and (module, t.name) not in used
+    ]
+    if not outs:
+        return None
+    return rng.choice(outs)
+
+
+def _drop_degenerate_nets(net: Network) -> None:
+    for name in [n for n, obj in net.nets.items() if len(obj.pins) < 2]:
+        del net.nets[name]

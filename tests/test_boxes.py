@@ -1,0 +1,131 @@
+"""Tests for box formation: roots, longest drive strings, levels."""
+
+import pytest
+
+from repro.core.netlist import Network, TermType
+from repro.place.boxes import (
+    construct_roots,
+    drive_edges,
+    form_boxes,
+    longest_path,
+    string_edge,
+)
+from repro.workloads.examples import example1_string
+from repro.workloads.stdlib import instantiate
+
+
+@pytest.fixture
+def chain() -> Network:
+    """m0 -> m1 -> m2 -> m3 plus a side branch m1 -> m4."""
+    net = Network()
+    for name in ("m0", "m1", "m2", "m3", "m4"):
+        net.add_module(instantiate("mux2", name))
+    net.connect("n0", "m0.y", "m1.a")
+    net.connect("n1", "m1.y", "m2.a", "m4.a")
+    net.connect("n2", "m2.y", "m3.a")
+    return net
+
+
+class TestDriveEdges:
+    def test_direction(self, chain):
+        edges = drive_edges(chain, set(chain.modules))
+        assert {e.sink for e in edges["m1"]} == {"m2", "m4"}
+        assert edges["m3"] == []
+
+    def test_edge_carries_terminals(self, chain):
+        edges = drive_edges(chain, set(chain.modules))
+        e = next(e for e in edges["m0"] if e.sink == "m1")
+        assert e.source_terminal == "y" and e.sink_terminal == "a"
+        assert e.net == "n0"
+
+    def test_scoped_to_members(self, chain):
+        edges = drive_edges(chain, {"m0", "m1"})
+        assert {e.sink for e in edges["m0"]} == {"m1"}
+        assert "m2" not in edges
+
+    def test_inout_counts_both_ways(self):
+        net = Network()
+        net.add_module(instantiate("buf", "u"))
+        net.add_module(instantiate("buf", "v"))
+        # Abuse: connect output to output; no drive edge since no listener.
+        net.connect("n", "u.y", "v.y")
+        edges = drive_edges(net, {"u", "v"})
+        assert edges["u"] == [] and edges["v"] == []
+
+
+class TestRoots:
+    def test_system_in_makes_root(self):
+        net = example1_string()
+        roots = construct_roots(net, list(net.modules))
+        assert "d0" in roots  # driven by the system input
+
+    def test_single_net_module_is_root(self, chain):
+        roots = construct_roots(chain, list(chain.modules))
+        # m0, m3 and m4 touch other modules through exactly one net.
+        assert {"m0", "m3", "m4"} <= set(roots)
+
+    def test_external_connection_makes_root(self, chain):
+        roots = construct_roots(chain, ["m1", "m2"])
+        # Both touch modules outside the partition {m1, m2}.
+        assert set(roots) == {"m1", "m2"}
+
+
+class TestLongestPath:
+    def test_follows_drive_direction(self, chain):
+        edges = drive_edges(chain, set(chain.modules))
+        path = longest_path("m0", set(chain.modules), edges, max_length=10)
+        assert path == ["m0", "m1", "m2", "m3"]
+
+    def test_respects_max_length(self, chain):
+        edges = drive_edges(chain, set(chain.modules))
+        path = longest_path("m0", set(chain.modules), edges, max_length=2)
+        assert len(path) == 2
+
+    def test_no_revisits(self):
+        net = Network()
+        for name in ("a", "b"):
+            net.add_module(instantiate("mux2", name))
+        net.connect("f", "a.y", "b.a")
+        net.connect("g", "b.y", "a.a")  # cycle
+        edges = drive_edges(net, {"a", "b"})
+        path = longest_path("a", {"a", "b"}, edges, max_length=10)
+        assert path == ["a", "b"]
+
+
+class TestFormBoxes:
+    def test_partition_covered_exactly(self, chain):
+        boxes = form_boxes(chain, sorted(chain.modules), max_box_size=5)
+        flat = [m for b in boxes for m in b]
+        assert sorted(flat) == sorted(chain.modules)
+        assert len(flat) == len(set(flat))
+
+    def test_longest_string_first(self, chain):
+        boxes = form_boxes(chain, sorted(chain.modules), max_box_size=5)
+        assert ["m0", "m1", "m2", "m3"] in boxes
+        assert ["m4"] in boxes
+
+    def test_box_size_one(self, chain):
+        boxes = form_boxes(chain, sorted(chain.modules), max_box_size=1)
+        assert all(len(b) == 1 for b in boxes)
+        assert len(boxes) == 5
+
+    def test_invalid_size(self, chain):
+        with pytest.raises(ValueError):
+            form_boxes(chain, sorted(chain.modules), max_box_size=0)
+
+    def test_level_assignment_is_string_position(self, chain):
+        boxes = form_boxes(chain, sorted(chain.modules), max_box_size=5)
+        string = next(b for b in boxes if len(b) == 4)
+        edges = drive_edges(chain, set(chain.modules))
+        for prev, nxt in zip(string, string[1:]):
+            assert any(e.sink == nxt for e in edges[prev])
+
+
+class TestStringEdge:
+    def test_found(self, chain):
+        e = string_edge(chain, "m0", "m1", set(chain.modules))
+        assert (e.source, e.sink) == ("m0", "m1")
+
+    def test_missing_raises(self, chain):
+        with pytest.raises(ValueError):
+            string_edge(chain, "m3", "m0", set(chain.modules))

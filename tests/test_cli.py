@@ -1,0 +1,88 @@
+"""Tests for the command-line front ends."""
+
+import pytest
+
+from repro.cli import artwork_main, eureka_main, pablo_main, quinto_main
+from repro.formats.netlist_files import save_network_files
+from repro.workloads.examples import example1_string
+
+
+@pytest.fixture
+def network_files(tmp_path):
+    net = example1_string()
+    paths = save_network_files(net, tmp_path)
+    return paths
+
+
+def _net_args(paths):
+    return [str(paths["netlist"]), str(paths["call"]), str(paths["io"])]
+
+
+class TestPablo:
+    def test_places_and_writes_escher(self, tmp_path, network_files, capsys):
+        out = tmp_path / "placed.es"
+        rc = pablo_main(
+            _net_args(network_files) + ["-p", "7", "-b", "7", "-o", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "1 partitions / 1 boxes" in capsys.readouterr().out
+
+
+class TestEureka:
+    def test_routes_placed_diagram(self, tmp_path, network_files, capsys):
+        placed = tmp_path / "placed.es"
+        pablo_main(_net_args(network_files) + ["-p", "7", "-b", "7", "-o", str(placed)])
+        routed = tmp_path / "routed.es"
+        rc = eureka_main(
+            [str(placed)] + _net_args(network_files) + ["-o", str(routed)]
+        )
+        assert rc == 0
+        assert routed.exists()
+        assert "nets routed: 6/6" in capsys.readouterr().out
+
+    def test_swap_and_border_flags_accepted(self, tmp_path, network_files):
+        placed = tmp_path / "placed.es"
+        pablo_main(_net_args(network_files) + ["-p", "7", "-b", "7", "-o", str(placed)])
+        rc = eureka_main(
+            [str(placed)]
+            + _net_args(network_files)
+            + ["-s", "-u", "-d", "--margin", "8", "-o", str(tmp_path / "r.es")]
+        )
+        assert rc == 0
+
+
+class TestQuinto:
+    def test_adds_template(self, tmp_path, capsys):
+        desc = tmp_path / "latch.desc"
+        desc.write_text("module latch 40 30\nin d 0 10\nout q 40 10\n")
+        lib_dir = tmp_path / "lib"
+        rc = quinto_main([str(desc), "--library", str(lib_dir)])
+        assert rc == 0
+        assert (lib_dir / "latch.mod").exists()
+        assert "latch" in capsys.readouterr().out
+
+    def test_library_usable_after_quinto(self, tmp_path):
+        desc = tmp_path / "latch.desc"
+        desc.write_text("module latch 40 30\nin d 0 10\nout q 40 10\n")
+        lib_dir = tmp_path / "lib"
+        quinto_main([str(desc), "--library", str(lib_dir)])
+        from repro.formats.library import ModuleLibrary
+
+        lib = ModuleLibrary.load(lib_dir)
+        assert "latch" in lib
+
+
+class TestArtwork:
+    def test_full_pipeline(self, tmp_path, network_files, capsys):
+        svg = tmp_path / "fig.svg"
+        es = tmp_path / "fig.es"
+        rc = artwork_main(
+            _net_args(network_files)
+            + ["-p", "7", "-b", "7", "-o", str(svg), "--escher", str(es)]
+        )
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+        assert es.exists()
+        out = capsys.readouterr().out
+        assert "nets routed: 6/6" in out

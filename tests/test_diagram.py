@@ -1,0 +1,114 @@
+"""Unit tests for the diagram model."""
+
+import pytest
+
+from repro.core.diagram import Diagram, DiagramError, PlacedModule, RoutedNet
+from repro.core.geometry import Point, Rect, Side
+from repro.core.netlist import Pin
+from repro.core.rotation import Rotation
+from repro.workloads.stdlib import instantiate
+
+
+class TestPlacedModule:
+    def test_rect_and_terminals(self, square_module_network):
+        pm = PlacedModule(square_module_network.modules["sq"], Point(10, 20))
+        assert pm.rect == Rect(10, 20, 4, 4)
+        assert pm.terminal_position("l") == Point(10, 21)
+        assert pm.terminal_position("r") == Point(14, 22)
+        assert pm.terminal_side("l") is Side.LEFT
+
+    def test_rotated_terminals(self, square_module_network):
+        pm = PlacedModule(
+            square_module_network.modules["sq"], Point(0, 0), Rotation.R90
+        )
+        # R90 maps LEFT to DOWN.
+        assert pm.terminal_side("l") is Side.DOWN
+        offset = pm.terminal_offset("l")
+        assert pm.rect.side_of(Point(offset.x, offset.y)) is Side.DOWN
+
+
+class TestDiagramConstruction:
+    def test_place_unknown_module(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        with pytest.raises(DiagramError):
+            d.place_module("nosuch", Point(0, 0))
+
+    def test_place_unknown_terminal(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        with pytest.raises(DiagramError):
+            d.place_system_terminal("nosuch", Point(0, 0))
+
+    def test_is_placed(self, two_buffer_diagram):
+        assert two_buffer_diagram.is_placed
+
+    def test_is_placed_partial(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        d.place_module("u0", Point(0, 0))
+        assert not d.is_placed
+
+    def test_pin_positions(self, two_buffer_diagram):
+        assert two_buffer_diagram.pin_position(Pin("u0", "a")) == Point(0, 1)
+        assert two_buffer_diagram.pin_position(Pin("u0", "y")) == Point(3, 1)
+        assert two_buffer_diagram.pin_position(Pin(None, "din")) == Point(-4, 1)
+
+    def test_pin_position_unplaced(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        with pytest.raises(DiagramError):
+            d.pin_position(Pin("u0", "a"))
+        with pytest.raises(DiagramError):
+            d.pin_position(Pin(None, "din"))
+
+    def test_pin_side(self, two_buffer_diagram):
+        assert two_buffer_diagram.pin_side(Pin("u0", "a")) is Side.LEFT
+        assert two_buffer_diagram.pin_side(Pin(None, "din")) is None
+
+
+class TestRoutedNet:
+    def test_add_path_normalises(self, two_buffer_network):
+        route = RoutedNet(two_buffer_network.nets["n_mid"])
+        route.add_path([Point(3, 1), Point(5, 1), Point(8, 1)])
+        assert route.paths == [[Point(3, 1), Point(8, 1)]]
+        assert route.length == 5
+        assert route.bends == 0
+        assert route.complete
+
+    def test_points_cover_path(self, two_buffer_network):
+        route = RoutedNet(two_buffer_network.nets["n_mid"])
+        route.add_path([Point(0, 0), Point(2, 0), Point(2, 2)])
+        assert Point(1, 0) in route.points()
+        assert Point(2, 1) in route.points()
+        assert len(route.points()) == 5
+
+    def test_incomplete_when_failed(self, two_buffer_network):
+        route = RoutedNet(two_buffer_network.nets["n_mid"])
+        route.failed_pins.append(Pin("u1", "a"))
+        assert not route.complete
+
+
+class TestDiagramBookkeeping:
+    def test_bounding_box(self, two_buffer_diagram):
+        bbox = two_buffer_diagram.bounding_box(include_routes=False)
+        assert bbox.x == -4 and bbox.x2 == 15
+
+    def test_bounding_box_includes_routes(self, two_buffer_diagram):
+        route = two_buffer_diagram.route_for("n_mid")
+        route.add_path([Point(3, 1), Point(3, 30)])
+        assert two_buffer_diagram.bounding_box().y2 == 30
+
+    def test_bounding_box_empty(self, two_buffer_network):
+        assert Diagram(two_buffer_network).bounding_box() == Rect(0, 0, 0, 0)
+
+    def test_unrouted_nets(self, two_buffer_diagram):
+        assert set(two_buffer_diagram.unrouted_nets) == {"n_in", "n_mid", "n_out"}
+        r = two_buffer_diagram.route_for("n_mid")
+        r.add_path([Point(3, 1), Point(8, 1)])
+        assert "n_mid" not in two_buffer_diagram.unrouted_nets
+
+    def test_copy_placement_drops_routes(self, two_buffer_diagram):
+        two_buffer_diagram.route_for("n_mid").add_path([Point(3, 1), Point(8, 1)])
+        copy = two_buffer_diagram.copy_placement()
+        assert not copy.routes
+        assert copy.placements["u0"].position == Point(0, 0)
+        # And the copy is independent.
+        copy.place_module("u0", Point(50, 50))
+        assert two_buffer_diagram.placements["u0"].position == Point(0, 0)

@@ -1,0 +1,170 @@
+"""Tests for the headless schematic editor (figure 3.1)."""
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.rotation import Rotation
+from repro.editor import Editor, EditorError
+from repro.place.pablo import PabloOptions
+from repro.sim.behaviors import default_behaviors
+
+
+@pytest.fixture
+def editor(two_buffer_network) -> Editor:
+    return Editor(two_buffer_network)
+
+
+class TestModuleCommands:
+    def test_place_and_undo(self, editor):
+        editor.place("u0", 0, 0)
+        assert editor.diagram.placements["u0"].position == Point(0, 0)
+        assert editor.undo() == "place u0 at (0,0)"
+        assert "u0" not in editor.diagram.placements
+
+    def test_place_unknown(self, editor):
+        with pytest.raises(EditorError):
+            editor.place("ghost", 0, 0)
+
+    def test_overlapping_placement_refused(self, editor):
+        editor.place("u0", 0, 0)
+        with pytest.raises(EditorError, match="overlap"):
+            editor.place("u1", 1, 1)
+        assert "u1" not in editor.diagram.placements
+        # The refused command left no undo entry.
+        editor.undo()
+        assert not editor.can_undo
+
+    def test_move(self, editor):
+        editor.place("u0", 0, 0)
+        editor.move("u0", 5, 2)
+        assert editor.diagram.placements["u0"].position == Point(5, 2)
+        editor.undo()
+        assert editor.diagram.placements["u0"].position == Point(0, 0)
+
+    def test_move_unplaced(self, editor):
+        with pytest.raises(EditorError):
+            editor.move("u0", 1, 0)
+
+    def test_rotate(self, editor):
+        editor.place("u0", 0, 0)
+        editor.rotate("u0")
+        assert editor.diagram.placements["u0"].rotation is Rotation.R90
+        editor.rotate("u0", 2)
+        assert editor.diagram.placements["u0"].rotation is Rotation.R270
+        editor.undo()
+        assert editor.diagram.placements["u0"].rotation is Rotation.R90
+
+    def test_place_terminal(self, editor):
+        editor.place_terminal("din", -3, 1)
+        assert editor.diagram.terminal_positions["din"] == Point(-3, 1)
+        editor.undo()
+        assert "din" not in editor.diagram.terminal_positions
+
+
+class TestWireCommands:
+    def _placed(self, editor):
+        editor.place("u0", 0, 0)
+        editor.place("u1", 8, 0)
+        editor.place_terminal("din", -4, 1)
+        editor.place_terminal("dout", 15, 1)
+        return editor
+
+    def test_draw_wire(self, editor):
+        self._placed(editor)
+        editor.draw_wire("n_mid", [(3, 1), (8, 1)])
+        assert editor.diagram.routes["n_mid"].paths == [[Point(3, 1), Point(8, 1)]]
+        editor.undo()
+        assert "n_mid" not in editor.diagram.routes
+
+    def test_draw_wire_through_module_refused(self, editor):
+        self._placed(editor)
+        with pytest.raises(EditorError):
+            editor.draw_wire("n_mid", [(-1, 1), (10, 1)])
+        assert "n_mid" not in editor.diagram.routes
+
+    def test_draw_wire_needs_rectilinear(self, editor):
+        self._placed(editor)
+        with pytest.raises(EditorError, match="rectilinear"):
+            editor.draw_wire("n_mid", [(3, 1), (8, 4)])
+
+    def test_draw_wire_unknown_net(self, editor):
+        with pytest.raises(EditorError):
+            editor.draw_wire("ghost", [(0, 0), (1, 0)])
+
+    def test_erase_net(self, editor):
+        self._placed(editor)
+        editor.draw_wire("n_mid", [(3, 1), (8, 1)])
+        editor.erase_net("n_mid")
+        assert "n_mid" not in editor.diagram.routes
+        editor.undo()
+        assert "n_mid" in editor.diagram.routes
+
+    def test_erase_missing(self, editor):
+        with pytest.raises(EditorError):
+            editor.erase_net("n_mid")
+
+
+class TestToolInvocation:
+    def test_generate_flow(self, editor):
+        editor.invoke_placement(PabloOptions(partition_size=4, box_size=4))
+        assert editor.diagram.is_placed
+        failed = editor.invoke_routing()
+        assert failed == []
+        assert editor.metrics().nets_failed == 0
+        assert editor.problems() == []
+
+    def test_placement_respects_manual_content(self, editor):
+        editor.place("u0", 100, 100)
+        editor.invoke_placement(PabloOptions())
+        assert editor.diagram.placements["u0"].position == Point(100, 100)
+        assert editor.diagram.is_placed
+
+    def test_routing_requires_full_placement(self, editor):
+        editor.place("u0", 0, 0)
+        with pytest.raises(EditorError, match="place every module"):
+            editor.invoke_routing()
+
+    def test_undo_routing_restores_preroutes(self, editor):
+        editor.place("u0", 0, 0)
+        editor.place("u1", 8, 0)
+        editor.place_terminal("din", -4, 1)
+        editor.place_terminal("dout", 15, 1)
+        editor.draw_wire("n_mid", [(3, 1), (8, 1)])
+        editor.invoke_routing()
+        assert editor.metrics().nets_failed == 0
+        editor.undo()
+        assert list(editor.diagram.routes) == ["n_mid"]
+
+    def test_invoke_simulator(self, editor, two_buffer_network):
+        editor.invoke_placement(PabloOptions(partition_size=4))
+        editor.invoke_routing()
+        values = editor.invoke_simulator(
+            default_behaviors(two_buffer_network), din=1
+        )
+        assert values["n_out"] == 1
+
+    def test_undo_placement(self, editor):
+        editor.invoke_placement(PabloOptions())
+        assert editor.diagram.is_placed
+        editor.undo()
+        assert not editor.diagram.placements
+
+
+class TestPersistence:
+    def test_save_and_open(self, tmp_path, editor, two_buffer_network):
+        editor.invoke_placement(PabloOptions(partition_size=4))
+        editor.invoke_routing()
+        path = editor.save(tmp_path / "session.es")
+        again = Editor.open(path, two_buffer_network)
+        assert again.diagram.placements.keys() == editor.diagram.placements.keys()
+        assert again.problems() == []
+
+    def test_render_and_svg(self, tmp_path, editor):
+        editor.invoke_placement(PabloOptions())
+        assert "u0" in editor.render()
+        out = editor.save_svg(tmp_path / "x.svg")
+        assert out.read_text().startswith("<svg")
+
+    def test_undo_empty(self, editor):
+        with pytest.raises(EditorError):
+            editor.undo()

@@ -1,0 +1,167 @@
+"""Tests for the file formats: net-lists (App. A), module descriptions
+(App. B), the module library (App. C) and ESCHER files (App. D)."""
+
+import pytest
+
+from repro.core.netlist import NetlistError, Pin, TermType
+from repro.formats.library import ModuleLibrary
+from repro.formats.module_desc import (
+    parse_module_description,
+    write_module_description,
+)
+from repro.formats.netlist_files import (
+    build_network,
+    load_network_files,
+    parse_call_file,
+    parse_io_file,
+    parse_netlist_file,
+    save_network_files,
+    write_call_file,
+    write_io_file,
+    write_netlist_file,
+)
+from repro.workloads.examples import example2_controller
+from repro.workloads.stdlib import instantiate
+
+
+class TestCallFile:
+    def test_parse(self):
+        pairs = parse_call_file("u0 buf\nu1\tinv\n\n# comment\nu2 and2\n")
+        assert pairs == [("u0", "buf"), ("u1", "inv"), ("u2", "and2")]
+
+    def test_duplicate_instance(self):
+        with pytest.raises(NetlistError, match="duplicate"):
+            parse_call_file("u buf\nu inv\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(NetlistError, match="expected 2 fields"):
+            parse_call_file("u buf extra\n")
+
+
+class TestIoFile:
+    def test_parse(self):
+        pairs = parse_io_file("clk in\nq out\nbus inout\n")
+        assert pairs == [
+            ("clk", TermType.IN),
+            ("q", TermType.OUT),
+            ("bus", TermType.INOUT),
+        ]
+
+    def test_bad_type(self):
+        with pytest.raises(NetlistError):
+            parse_io_file("clk sideways\n")
+
+
+class TestNetlistFile:
+    def test_parse_with_root(self):
+        records = parse_netlist_file("n1 u0 a\nn1 root clk\n")
+        assert records == [("n1", Pin("u0", "a")), ("n1", Pin(None, "clk"))]
+
+
+class TestRoundtrip:
+    def test_network_files_roundtrip(self, tmp_path):
+        net = example2_controller()
+        paths = save_network_files(net, tmp_path)
+        lib = ModuleLibrary.standard()
+        loaded = load_network_files(
+            paths["netlist"], paths["call"], paths["io"], library=lib
+        )
+        assert set(loaded.modules) == set(net.modules)
+        assert set(loaded.system_terminals) == set(net.system_terminals)
+        assert {n: sorted(map(str, obj.pins)) for n, obj in loaded.nets.items()} == {
+            n: sorted(map(str, obj.pins)) for n, obj in net.nets.items()
+        }
+
+    def test_io_file_optional(self, tmp_path):
+        net = example2_controller()
+        # Strip the system pins so no io-file is needed.
+        for netobj in net.nets.values():
+            netobj.pins = [p for p in netobj.pins if not p.is_system]
+        net.system_terminals.clear()
+        paths = save_network_files(net, tmp_path)
+        loaded = load_network_files(
+            paths["netlist"], paths["call"], library=ModuleLibrary.standard()
+        )
+        assert not loaded.system_terminals
+
+    def test_build_network_validates(self):
+        lib = ModuleLibrary.standard()
+        with pytest.raises(NetlistError):
+            build_network("n u0 a\n", "u0 buf\n", library=lib)  # 1-pin net
+
+    def test_writers_produce_records(self):
+        net = example2_controller()
+        assert len(write_call_file(net).splitlines()) == 16
+        assert len(write_io_file(net).splitlines()) == 3
+        assert len(write_netlist_file(net).splitlines()) == sum(
+            len(n.pins) for n in net.nets.values()
+        )
+
+
+class TestModuleDescription:
+    DESC = "module latch 40 30\nin d 0 10\nin clk 0 20\nout q 40 10\n"
+
+    def test_parse_scales_by_ten(self):
+        m = parse_module_description(self.DESC)
+        assert (m.width, m.height) == (4, 3)
+        assert m.terminals["d"].offset == (0, 1)
+        assert m.terminals["q"].type is TermType.OUT
+
+    def test_roundtrip(self):
+        m = parse_module_description(self.DESC)
+        again = parse_module_description(write_module_description(m))
+        assert again.width == m.width and again.terminals == m.terminals
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(NetlistError, match="divisible"):
+            parse_module_description("module m 45 30\nin d 0 10\n")
+
+    def test_rejects_terminal_off_outline(self):
+        with pytest.raises(NetlistError):
+            parse_module_description("module m 40 30\nin d 10 10\n")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(NetlistError):
+            parse_module_description("")
+        with pytest.raises(NetlistError):
+            parse_module_description("flurb x 1 2\n")
+        with pytest.raises(NetlistError, match="no terminals"):
+            parse_module_description("module m 40 30\n")
+
+
+class TestLibrary:
+    def test_standard_has_all_templates(self):
+        lib = ModuleLibrary.standard()
+        assert "buf" in lib and "life_cell" in lib
+        assert len(lib) >= 14
+
+    def test_instantiate_fresh_instances(self):
+        lib = ModuleLibrary.standard()
+        a = lib("buf", "u0")
+        b = lib("buf", "u1")
+        assert a.name == "u0" and b.name == "u1"
+        assert a.template == b.template == "buf"
+
+    def test_unknown_template(self):
+        with pytest.raises(NetlistError):
+            ModuleLibrary.standard().template("warp_core")
+
+    def test_duplicate_rejected(self):
+        lib = ModuleLibrary()
+        lib.add(instantiate("buf", "buf"))
+        with pytest.raises(NetlistError):
+            lib.add(instantiate("buf", "buf"))
+
+    def test_save_load_directory(self, tmp_path):
+        lib = ModuleLibrary.standard()
+        lib.save(tmp_path)
+        loaded = ModuleLibrary.load(tmp_path)
+        assert sorted(loaded) == sorted(lib)
+        m0, m1 = lib.template("alu"), loaded.template("alu")
+        assert m0.width == m1.width and m0.terminals == m1.terminals
+
+    def test_add_description(self):
+        lib = ModuleLibrary()
+        m = lib.add_description("module latch 40 30\nin d 0 10\nout q 40 10\n")
+        assert "latch" in lib
+        assert m.template == "latch"

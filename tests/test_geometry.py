@@ -1,0 +1,164 @@
+"""Unit tests for the grid geometry primitives."""
+
+import pytest
+
+from repro.core.geometry import (
+    Direction,
+    Orientation,
+    Point,
+    Rect,
+    Segment,
+    Side,
+    bounding_rect,
+    normalize_path,
+    path_bends,
+    path_length,
+    path_points,
+    path_segments,
+)
+
+
+class TestDirection:
+    def test_steps(self):
+        assert Point(0, 0).step(Direction.RIGHT) == Point(1, 0)
+        assert Point(0, 0).step(Direction.UP, 3) == Point(0, 3)
+        assert Point(5, 5).step(Direction.LEFT, 2) == Point(3, 5)
+        assert Point(5, 5).step(Direction.DOWN) == Point(5, 4)
+
+    def test_opposites(self):
+        for d in Direction:
+            assert d.opposite.opposite is d
+            assert d.dx == -d.opposite.dx and d.dy == -d.opposite.dy
+
+    def test_orientation(self):
+        assert Direction.LEFT.orientation is Orientation.HORIZONTAL
+        assert Direction.UP.orientation is Orientation.VERTICAL
+        assert Orientation.HORIZONTAL.perpendicular is Orientation.VERTICAL
+
+    def test_perpendiculars(self):
+        assert set(Direction.RIGHT.perpendiculars) == {Direction.UP, Direction.DOWN}
+        assert set(Direction.DOWN.perpendiculars) == {Direction.LEFT, Direction.RIGHT}
+
+    def test_side_outward(self):
+        assert Side.LEFT.outward is Direction.LEFT
+        assert Side.UP.opposite is Side.DOWN
+
+
+class TestPoint:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+        assert Point(-2, 1).manhattan(Point(-2, 1)) == 0
+
+
+class TestRect:
+    def test_properties(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.x2 == 4 and r.y2 == 6
+        assert r.lower_left == Point(1, 2)
+        assert r.upper_right == Point(4, 6)
+        assert r.area == 12
+        assert r.center == (2.5, 4.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 2)
+
+    def test_contains(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(4, 4))
+        assert not r.contains(Point(5, 0))
+        assert not r.contains(Point(0, 0), strict=True)
+        assert r.contains(Point(2, 2), strict=True)
+
+    def test_overlap_touching(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 2, 2)  # shares the x=2 border
+        assert not a.overlaps(b)
+        assert a.overlaps(b, touching_ok=False)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(5, 5, 1, 1), touching_ok=False)
+
+    def test_union_and_bounding(self):
+        a, b = Rect(0, 0, 1, 1), Rect(3, 4, 2, 2)
+        u = a.union(b)
+        assert u == Rect(0, 0, 5, 6)
+        assert bounding_rect([a, b]) == u
+        with pytest.raises(ValueError):
+            bounding_rect([])
+
+    def test_expand_translate(self):
+        assert Rect(1, 1, 2, 2).expand(1) == Rect(0, 0, 4, 4)
+        assert Rect(1, 1, 2, 2).translate(2, -1) == Rect(3, 0, 2, 2)
+
+    def test_side_of(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.side_of(Point(0, 2)) is Side.LEFT
+        assert r.side_of(Point(4, 2)) is Side.RIGHT
+        assert r.side_of(Point(2, 4)) is Side.UP
+        assert r.side_of(Point(2, 0)) is Side.DOWN
+        # Corners resolve to left/right (the paper's convention).
+        assert r.side_of(Point(0, 0)) is Side.LEFT
+        assert r.side_of(Point(4, 4)) is Side.RIGHT
+        assert r.side_of(Point(2, 2)) is None
+        assert r.side_of(Point(9, 9)) is None
+
+
+class TestSegment:
+    def test_between(self):
+        s = Segment.between(Point(1, 3), Point(5, 3))
+        assert s.orientation is Orientation.HORIZONTAL
+        assert (s.index, s.lo, s.hi) == (3, 1, 5)
+        assert s.p1 == Point(1, 3) and s.p2 == Point(5, 3)
+        with pytest.raises(ValueError):
+            Segment.between(Point(0, 0), Point(1, 1))
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(Orientation.HORIZONTAL, 0, 5, 1)
+
+    def test_points_and_contains(self):
+        s = Segment(Orientation.VERTICAL, 2, 0, 2)
+        assert list(s.points()) == [Point(2, 0), Point(2, 1), Point(2, 2)]
+        assert s.contains_point(Point(2, 1))
+        assert not s.contains_point(Point(3, 1))
+        assert s.length == 2 and not s.is_point
+        assert Segment(Orientation.HORIZONTAL, 0, 1, 1).is_point
+
+    def test_crosses(self):
+        h = Segment(Orientation.HORIZONTAL, 5, 0, 10)
+        v = Segment(Orientation.VERTICAL, 3, 0, 10)
+        assert h.crosses(v) == Point(3, 5)
+        assert v.crosses(h) == Point(3, 5)
+        assert h.crosses(Segment(Orientation.HORIZONTAL, 5, 0, 3)) is None
+        assert h.crosses(Segment(Orientation.VERTICAL, 20, 0, 10)) is None
+
+
+class TestPaths:
+    def test_normalize(self):
+        path = [Point(0, 0), Point(2, 0), Point(2, 0), Point(4, 0), Point(4, 3)]
+        assert normalize_path(path) == [Point(0, 0), Point(4, 0), Point(4, 3)]
+
+    def test_normalize_single(self):
+        assert normalize_path([Point(1, 1)]) == [Point(1, 1)]
+
+    def test_length_and_bends(self):
+        path = [Point(0, 0), Point(4, 0), Point(4, 3), Point(6, 3)]
+        assert path_length(path) == 9
+        assert path_bends(path) == 2
+        assert path_bends([Point(0, 0), Point(5, 0)]) == 0
+
+    def test_segments(self):
+        path = [Point(0, 0), Point(2, 0), Point(2, 2)]
+        segs = path_segments(path)
+        assert len(segs) == 2
+        assert segs[0].orientation is Orientation.HORIZONTAL
+
+    def test_points_enumeration(self):
+        path = [Point(0, 0), Point(2, 0), Point(2, 1)]
+        assert list(path_points(path)) == [
+            Point(0, 0),
+            Point(1, 0),
+            Point(2, 0),
+            Point(2, 1),
+        ]

@@ -1,0 +1,167 @@
+"""Tests for gravity placement (generic), box/partition placement and
+terminal placement."""
+
+import pytest
+
+from repro.core.diagram import Diagram
+from repro.core.geometry import Point, Rect
+from repro.core.netlist import Network, TermType
+from repro.core.validate import placement_violations
+from repro.place.box_place import place_partition
+from repro.place.boxes import form_boxes
+from repro.place.gravity import GravityItem, place_by_gravity
+from repro.place.module_place import place_box
+from repro.place.terminal_place import place_terminals
+from repro.workloads.examples import example2_controller
+from repro.workloads.stdlib import instantiate
+
+
+def _rects(items, positions):
+    by_key = {i.key: i for i in items}
+    return {
+        k: Rect(p.x, p.y, by_key[k].width, by_key[k].height)
+        for k, p in positions.items()
+    }
+
+
+class TestPlaceByGravity:
+    def test_first_item_is_heaviest(self):
+        items = [
+            GravityItem("small", 2, 2, weight=1),
+            GravityItem("big", 4, 4, weight=5),
+        ]
+        pos = place_by_gravity(items)
+        assert pos["big"] == Point(0, 0)
+
+    def test_no_overlap(self):
+        items = [
+            GravityItem(f"i{k}", 5, 5, net_points={"n": [Point(0, 0)]}, weight=1)
+            for k in range(6)
+        ]
+        pos = place_by_gravity(items)
+        rects = list(_rects(items, pos).values())
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_spacing_respected(self):
+        items = [
+            GravityItem("a", 4, 4, net_points={"n": [Point(4, 2)]}, weight=2),
+            GravityItem("b", 4, 4, net_points={"n": [Point(0, 2)]}, weight=1),
+        ]
+        pos = place_by_gravity(items, spacing=3)
+        ra, rb = _rects(items, pos).values()
+        gap_x = max(rb.x - ra.x2, ra.x - rb.x2)
+        gap_y = max(rb.y - ra.y2, ra.y - rb.y2)
+        assert max(gap_x, gap_y) >= 3
+
+    def test_connected_items_attract(self):
+        # c is connected to a; d is not. c must end up nearer to a.
+        items = [
+            GravityItem("a", 4, 4, net_points={"n": [Point(2, 2)]}, weight=10),
+            GravityItem("c", 2, 2, net_points={"n": [Point(1, 1)]}),
+            GravityItem("d", 2, 2, net_points={}),
+        ]
+        pos = place_by_gravity(items)
+        da = pos["c"].manhattan(pos["a"])
+        dd = pos["d"].manhattan(pos["a"])
+        assert da <= dd
+
+    def test_preplaced_stay_fixed(self):
+        items = [
+            GravityItem("fixed", 4, 4, net_points={"n": [Point(2, 2)]}),
+            GravityItem("new", 2, 2, net_points={"n": [Point(1, 1)]}),
+        ]
+        pos = place_by_gravity(items, preplaced={"fixed": Point(50, 50)})
+        assert pos["fixed"] == Point(50, 50)
+        assert pos["new"].manhattan(Point(50, 50)) < 30
+
+    def test_preplaced_unknown_key(self):
+        with pytest.raises(KeyError):
+            place_by_gravity(
+                [GravityItem("a", 1, 1)], preplaced={"ghost": Point(0, 0)}
+            )
+
+
+class TestPartitionPlacement:
+    def test_boxes_do_not_overlap(self, example2):
+        parts = [sorted(example2.modules)]
+        boxes = form_boxes(example2, parts[0], max_box_size=5)
+        layouts = [place_box(example2, b) for b in boxes]
+        layout = place_partition(example2, layouts)
+        d = Diagram(example2)
+        for pos, (box, origin) in zip(
+            layout.box_positions, zip(layout.boxes, layout.box_positions)
+        ):
+            pass
+        for module, (pos, rot) in layout.module_placements().items():
+            d.place_module(module, pos, rot)
+        assert placement_violations(d) == []
+
+    def test_layout_normalised_to_origin(self, example2):
+        boxes = form_boxes(example2, sorted(example2.modules), max_box_size=3)
+        layouts = [place_box(example2, b) for b in boxes]
+        layout = place_partition(example2, layouts)
+        assert min(p.x for p in layout.box_positions) == 0
+        assert min(p.y for p in layout.box_positions) == 0
+        assert layout.width > 0 and layout.height > 0
+
+    def test_net_points_translated(self, example2):
+        boxes = form_boxes(example2, sorted(example2.modules), max_box_size=3)
+        layouts = [place_box(example2, b) for b in boxes]
+        layout = place_partition(example2, layouts)
+        pts = layout.net_points(example2)
+        assert pts  # every connected terminal appears
+        for plist in pts.values():
+            for p in plist:
+                assert 0 <= p.x <= layout.width
+                assert 0 <= p.y <= layout.height
+
+
+class TestTerminalPlacement:
+    def test_on_ring_and_free(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        d.place_module("u0", Point(0, 0))
+        d.place_module("u1", Point(8, 0))
+        place_terminals(d)
+        assert set(d.terminal_positions) == {"din", "dout"}
+        bbox = Rect(0, 0, 11, 2).expand(1)
+        for pos in d.terminal_positions.values():
+            on_ring = (
+                pos.x in (bbox.x, bbox.x2) and bbox.y <= pos.y <= bbox.y2
+            ) or (pos.y in (bbox.y, bbox.y2) and bbox.x <= pos.x <= bbox.x2)
+            assert on_ring
+        assert placement_violations(d) == []
+
+    def test_input_lands_left_output_right(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        d.place_module("u0", Point(0, 0))
+        d.place_module("u1", Point(8, 0))
+        place_terminals(d)
+        # Rule 4: din connects to u0.a on the left, dout to u1.y right.
+        assert d.terminal_positions["din"].x < d.terminal_positions["dout"].x
+
+    def test_existing_positions_kept(self, two_buffer_network):
+        d = Diagram(two_buffer_network)
+        d.place_module("u0", Point(0, 0))
+        d.place_module("u1", Point(8, 0))
+        d.place_system_terminal("din", Point(-7, 0))
+        place_terminals(d)
+        assert d.terminal_positions["din"] == Point(-7, 0)
+
+    def test_no_terminals_no_op(self):
+        net = Network()
+        net.add_module(instantiate("buf", "u"))
+        d = Diagram(net)
+        d.place_module("u", Point(0, 0))
+        place_terminals(d)
+        assert d.terminal_positions == {}
+
+    def test_unconnected_terminal_still_placed(self):
+        net = Network()
+        net.add_module(instantiate("buf", "u"))
+        net.add_system_terminal("spare", TermType.IN)
+        d = Diagram(net)
+        d.place_module("u", Point(0, 0))
+        place_terminals(d)
+        assert "spare" in d.terminal_positions

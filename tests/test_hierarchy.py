@@ -1,0 +1,222 @@
+"""Tests for hierarchical network descriptions and elaboration."""
+
+import pytest
+
+from repro.core.geometry import Point
+from repro.core.hierarchy import HierarchicalDesign, TemplateDefinition
+from repro.core.netlist import NetlistError, Pin, TermType
+from repro.workloads.stdlib import instantiate, make_module
+
+
+@pytest.fixture
+def design() -> HierarchicalDesign:
+    """A two-level design: `pair` wraps two buffers; `top` chains two
+    pairs between its ports."""
+    d = HierarchicalDesign()
+    d.define_leaf(instantiate("buf", "buf"))
+
+    pair_symbol = make_module(
+        "pair", 4, 4, [("i", "in", 0, 2), ("o", "out", 4, 2)]
+    )
+    pair = TemplateDefinition(symbol=pair_symbol)
+    pair.add_instance("u0", "buf")
+    pair.add_instance("u1", "buf")
+    pair.connect("w_in", "u0.a")
+    pair.connect("w_mid", "u0.y", "u1.a")
+    pair.connect("w_out", "u1.y")
+    pair.bind_port("i", "w_in")
+    pair.bind_port("o", "w_out")
+    d.define(pair)
+
+    top_symbol = make_module(
+        "top", 6, 6, [("din", "in", 0, 3), ("dout", "out", 6, 3)]
+    )
+    top = TemplateDefinition(symbol=top_symbol)
+    top.add_instance("p0", "pair")
+    top.add_instance("p1", "pair")
+    top.connect("t_in", "p0.i")
+    top.connect("t_mid", "p0.o", "p1.i")
+    top.connect("t_out", "p1.o")
+    top.bind_port("din", "t_in")
+    top.bind_port("dout", "t_out")
+    d.define(top)
+    return d
+
+
+class TestDefinitions:
+    def test_duplicate_template(self, design):
+        with pytest.raises(NetlistError):
+            design.define_leaf(instantiate("buf", "buf"))
+
+    def test_duplicate_instance(self):
+        t = TemplateDefinition(symbol=instantiate("buf", "t"))
+        t.add_instance("a", "x")
+        with pytest.raises(NetlistError):
+            t.add_instance("a", "y")
+
+    def test_bind_unknown_port(self):
+        t = TemplateDefinition(symbol=instantiate("buf", "t"))
+        with pytest.raises(NetlistError):
+            t.bind_port("nonexistent", "w")
+
+    def test_bad_pin_spec(self):
+        t = TemplateDefinition(symbol=instantiate("buf", "t"))
+        with pytest.raises(NetlistError):
+            t.connect("w", "no_dot")
+
+    def test_leaf_detection(self, design):
+        assert design.template("buf").is_leaf
+        assert not design.template("pair").is_leaf
+        assert "pair" in design and "warp" not in design
+
+
+class TestNetworkOf:
+    def test_single_level_view(self, design):
+        net = design.network_of("top")
+        assert set(net.modules) == {"p0", "p1"}
+        assert net.modules["p0"].template == "pair"
+        assert set(net.system_terminals) == {"din", "dout"}
+        net.validate()
+        # t_mid connects the two pair symbols.
+        assert net.connected("p0", "p1", "t_mid")
+
+    def test_level_is_generatable(self, design):
+        from repro.core.generator import generate
+        from repro.place.pablo import PabloOptions
+
+        net = design.network_of("top")
+        result = generate(net, PabloOptions(partition_size=4, box_size=4))
+        assert result.metrics.nets_failed == 0
+
+    def test_unknown_template(self, design):
+        with pytest.raises(NetlistError):
+            design.network_of("ghost")
+
+
+class TestElaborate:
+    def test_flattens_to_leaves(self, design):
+        flat = design.elaborate("top")
+        assert sorted(flat.modules) == ["p0/u0", "p0/u1", "p1/u0", "p1/u1"]
+        assert all(m.template == "buf" for m in flat.modules.values())
+        flat.validate()
+
+    def test_port_stitching(self, design):
+        flat = design.elaborate("top")
+        # din .. p0/u0.a are one net; p0/u1.y .. p1/u0.a are one net, etc.
+        chain = [
+            Pin(None, "din"),
+            Pin("p0/u0", "a"),
+            Pin("p0/u0", "y"),
+            Pin("p0/u1", "a"),
+            Pin("p0/u1", "y"),
+            Pin("p1/u0", "a"),
+            Pin("p1/u0", "y"),
+            Pin("p1/u1", "a"),
+            Pin("p1/u1", "y"),
+            Pin(None, "dout"),
+        ]
+        nets = [flat.net_of(p) for p in chain]
+        assert all(n is not None for n in nets)
+        # Pairs (0,1), (2,3), (4,5), (6,7), (8,9) share nets.
+        for i in range(0, 10, 2):
+            assert nets[i].name == nets[i + 1].name
+        # And adjacent pairs do not (the buffers separate them).
+        assert nets[1].name != nets[2].name
+
+    def test_flat_network_simulates(self, design):
+        from repro.sim.behaviors import default_behaviors
+        from repro.sim.logic import LogicSimulator
+
+        flat = design.elaborate("top")
+        sim = LogicSimulator(flat, default_behaviors(flat))
+        sim.set_input("din", 1)
+        values = sim.settle()
+        assert sim.read_output("dout") == 1
+        sim.set_input("din", 0)
+        sim.settle()
+        assert sim.read_output("dout") == 0
+
+    def test_flat_network_generates(self, design):
+        from repro.core.generator import generate
+        from repro.core.validate import check_diagram
+        from repro.place.pablo import PabloOptions
+
+        flat = design.elaborate("top")
+        result = generate(flat, PabloOptions(partition_size=6, box_size=6))
+        assert result.metrics.nets_failed == 0
+        check_diagram(result.diagram)
+
+    def test_system_terminal_types_preserved(self, design):
+        flat = design.elaborate("top")
+        assert flat.system_terminals["din"].type is TermType.IN
+        assert flat.system_terminals["dout"].type is TermType.OUT
+
+
+class TestDeepHierarchy:
+    def _three_level(self) -> HierarchicalDesign:
+        d = HierarchicalDesign()
+        d.define_leaf(instantiate("buf", "buf"))
+        inner = TemplateDefinition(
+            symbol=make_module("inner", 3, 3, [("i", "in", 0, 1), ("o", "out", 3, 1)])
+        )
+        inner.add_instance("u", "buf")
+        inner.connect("a", "u.a")
+        inner.connect("y", "u.y")
+        inner.bind_port("i", "a")
+        inner.bind_port("o", "y")
+        d.define(inner)
+        mid = TemplateDefinition(
+            symbol=make_module("mid", 4, 4, [("i", "in", 0, 2), ("o", "out", 4, 2)])
+        )
+        mid.add_instance("x0", "inner")
+        mid.add_instance("x1", "inner")
+        mid.connect("w0", "x0.i")
+        mid.connect("w1", "x0.o", "x1.i")
+        mid.connect("w2", "x1.o")
+        mid.bind_port("i", "w0")
+        mid.bind_port("o", "w2")
+        d.define(mid)
+        top = TemplateDefinition(
+            symbol=make_module("deep_top", 5, 5, [("a", "in", 0, 2), ("b", "out", 5, 2)])
+        )
+        top.add_instance("m", "mid")
+        top.connect("t0", "m.i")
+        top.connect("t1", "m.o")
+        top.bind_port("a", "t0")
+        top.bind_port("b", "t1")
+        d.define(top)
+        return d
+
+    def test_three_levels_flatten(self):
+        d = self._three_level()
+        flat = d.elaborate("deep_top")
+        assert sorted(flat.modules) == ["m/x0/u", "m/x1/u"]
+        flat.validate()
+        # a .. m/x0/u.a are one net through two levels of ports.
+        from repro.core.netlist import Pin
+
+        assert flat.net_of(Pin(None, "a")).name == flat.net_of(Pin("m/x0/u", "a")).name
+        assert flat.net_of(Pin("m/x0/u", "y")).name == flat.net_of(Pin("m/x1/u", "a")).name
+        assert flat.net_of(Pin(None, "b")).name == flat.net_of(Pin("m/x1/u", "y")).name
+
+    def test_unbound_subport_dangles_quietly(self):
+        d = HierarchicalDesign()
+        d.define_leaf(instantiate("buf", "buf"))
+        inner = TemplateDefinition(
+            symbol=make_module("inner2", 3, 3, [("i", "in", 0, 1), ("o", "out", 3, 1)])
+        )
+        inner.add_instance("u", "buf")
+        inner.connect("a", "u.a")
+        inner.bind_port("i", "a")
+        # port "o" deliberately unbound; u.y dangles inside.
+        d.define(inner)
+        top = TemplateDefinition(
+            symbol=make_module("top2", 4, 4, [("p", "in", 0, 2)])
+        )
+        top.add_instance("k", "inner2")
+        top.connect("w", "k.i")
+        top.bind_port("p", "w")
+        d.define(top)
+        flat = d.elaborate("top2")
+        flat.validate()
+        assert "k/u" in flat.modules

@@ -1,0 +1,104 @@
+"""Tests for the iterative placement-improvement baseline."""
+
+import random
+
+from repro.core.diagram import Diagram
+from repro.core.geometry import Point
+from repro.core.netlist import Network
+from repro.core.validate import placement_violations
+from repro.place.improvement import (
+    estimated_wire_length,
+    improve_placement,
+)
+from repro.workloads.stdlib import instantiate
+
+
+def _chain(n: int) -> Network:
+    net = Network()
+    for i in range(n):
+        net.add_module(instantiate("buf", f"b{i}"))
+    for i in range(n - 1):
+        net.connect(f"n{i}", f"b{i}.y", f"b{i + 1}.a")
+    return net
+
+
+def _grid_placement(net: Network, order: list[str], pitch: int = 6) -> Diagram:
+    d = Diagram(net)
+    for i, name in enumerate(order):
+        d.place_module(name, Point((i % 3) * pitch, (i // 3) * pitch))
+    return d
+
+
+class TestEstimatedWireLength:
+    def test_straight_chain(self):
+        net = _chain(3)
+        d = _grid_placement(net, ["b0", "b1", "b2"])
+        # Each net spans one pitch horizontally minus terminal offsets.
+        assert estimated_wire_length(d) > 0
+
+    def test_ignores_unplaced_pins(self):
+        net = _chain(3)
+        d = Diagram(net)
+        d.place_module("b0", Point(0, 0))
+        assert estimated_wire_length(d) == 0  # no net has two placed pins
+
+    def test_two_pin_net_is_manhattan_span(self):
+        net = _chain(2)
+        d = Diagram(net)
+        d.place_module("b0", Point(0, 0))
+        d.place_module("b1", Point(10, 5))
+        a = d.pin_position(next(iter(net.nets.values())).pins[0])
+        b = d.pin_position(next(iter(net.nets.values())).pins[1])
+        assert estimated_wire_length(d) == abs(a.x - b.x) + abs(a.y - b.y)
+
+
+class TestImprovePlacement:
+    def test_fixes_a_bad_swap(self):
+        net = _chain(3)
+        good = _grid_placement(net, ["b0", "b1", "b2"])
+        bad = _grid_placement(net, ["b1", "b0", "b2"])  # b0/b1 swapped
+        assert estimated_wire_length(bad) > estimated_wire_length(good)
+        report = improve_placement(bad)
+        assert report.swaps >= 1
+        assert report.final_cost == estimated_wire_length(good)
+        assert report.gain > 0
+
+    def test_never_increases_cost(self):
+        rng = random.Random(3)
+        net = _chain(6)
+        order = [f"b{i}" for i in range(6)]
+        rng.shuffle(order)
+        d = _grid_placement(net, order)
+        before = estimated_wire_length(d)
+        report = improve_placement(d)
+        assert report.final_cost <= before
+        assert report.final_cost == estimated_wire_length(d)
+
+    def test_keeps_placement_legal(self):
+        rng = random.Random(9)
+        net = _chain(9)
+        order = [f"b{i}" for i in range(9)]
+        rng.shuffle(order)
+        d = _grid_placement(net, order)
+        improve_placement(d)
+        assert placement_violations(d) == []
+
+    def test_only_same_footprint_swaps(self):
+        net = Network()
+        net.add_module(instantiate("buf", "small"))
+        net.add_module(instantiate("alu", "big"))
+        net.connect("n", "small.y", "big.a")
+        d = Diagram(net)
+        d.place_module("small", Point(20, 0))
+        d.place_module("big", Point(0, 0))
+        report = improve_placement(d)
+        assert report.swaps == 0  # different sizes: never exchanged
+        assert report.trials == 0
+
+    def test_report_fields(self):
+        net = _chain(4)
+        d = _grid_placement(net, ["b3", "b2", "b1", "b0"])
+        report = improve_placement(d)
+        assert report.passes >= 1
+        assert report.seconds >= 0
+        assert 0 <= report.gain <= 1

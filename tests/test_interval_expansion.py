@@ -1,0 +1,158 @@
+"""Tests for the literal interval-sweep line-expansion engine.
+
+The key property: the interval engine is the paper's algorithm, the state
+engine is its optimisation — they must agree exactly on reachability (the
+guaranteed-solution property) and on the minimum bend count; the
+crossover/length tie-break may differ (the paper's UPDATE_SOLUTION only
+compares solutions of the terminal wave).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import Direction, Point, Rect, path_bends, path_length
+from repro.core.validate import check_diagram
+from repro.route.interval_expansion import route_connection_intervals
+from repro.route.line_expansion import SearchStats, route_connection
+from repro.route.plane import Plane
+
+
+def _plane(w=24, h=24) -> Plane:
+    return Plane(bounds=Rect(0, 0, w, h))
+
+
+class TestBasics:
+    def test_straight(self):
+        r = route_connection_intervals(
+            _plane(), "n", Point(2, 5), list(Direction), [Point(12, 5)]
+        )
+        assert r is not None
+        assert (r.bends, r.length) == (0, 10)
+        assert r.path == [Point(2, 5), Point(12, 5)]
+
+    def test_one_bend(self):
+        r = route_connection_intervals(
+            _plane(), "n", Point(0, 0), list(Direction), [Point(5, 7)]
+        )
+        assert r is not None
+        assert r.bends == 1
+        assert path_bends(r.path) == 1
+        assert path_length(r.path) == r.length == 12
+
+    def test_start_is_target(self):
+        r = route_connection_intervals(
+            _plane(), "n", Point(3, 3), list(Direction), [Point(3, 3)]
+        )
+        assert r.path == [Point(3, 3)]
+
+    def test_no_targets(self):
+        assert (
+            route_connection_intervals(_plane(), "n", Point(0, 0), list(Direction), [])
+            is None
+        )
+
+    def test_unreachable(self):
+        p = _plane(10, 10)
+        p.block_rect(Rect(4, 0, 2, 10))
+        stats = SearchStats()
+        assert (
+            route_connection_intervals(
+                p, "n", Point(0, 5), list(Direction), [Point(9, 5)], stats=stats
+            )
+            is None
+        )
+        assert stats.failures == 1
+
+    def test_crossing_counted(self):
+        p = _plane()
+        p.add_net_path("w", [Point(0, 5), Point(20, 5)])
+        r = route_connection_intervals(
+            p, "n", Point(10, 0), [Direction.UP], [Point(10, 10)]
+        )
+        assert r is not None
+        assert r.crossings == 1
+        assert r.path == [Point(10, 0), Point(10, 10)]
+
+    def test_arrival_direction(self):
+        r = route_connection_intervals(
+            _plane(),
+            "n",
+            Point(10, 0),
+            [Direction.UP],
+            {Point(10, 10): frozenset({Direction.RIGHT})},
+        )
+        assert r is not None
+        assert r.path[-2].y == 10 and r.path[-2].x < 10
+
+    def test_path_avoids_obstacles(self):
+        p = _plane()
+        p.block_rect(Rect(5, 0, 2, 12))
+        r = route_connection_intervals(
+            p, "n", Point(0, 5), list(Direction), [Point(12, 5)]
+        )
+        assert r is not None
+        for q in r.path:
+            assert not (5 <= q.x <= 7 and 0 <= q.y <= 12)
+
+
+def _random_scene(rng: random.Random):
+    plane = Plane(bounds=Rect(0, 0, 20, 20))
+    for _ in range(rng.randint(0, 5)):
+        plane.block_rect(
+            Rect(rng.randint(1, 15), rng.randint(1, 15), rng.randint(1, 4), rng.randint(1, 4))
+        )
+    for i in range(rng.randint(0, 2)):
+        y = rng.randint(1, 19)
+        x1 = rng.randint(0, 8)
+        plane.add_net_path(f"w{i}", [Point(x1, y), Point(x1 + rng.randint(2, 8), y)])
+    free = [
+        Point(x, y)
+        for x in range(21)
+        for y in range(21)
+        if not plane.occupied(Point(x, y))
+    ]
+    return plane, rng.choice(free), rng.choice(free)
+
+
+class TestEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_state_engine(self, seed):
+        plane, start, goal = _random_scene(random.Random(seed))
+        state = route_connection(plane, "n", start, list(Direction), [goal])
+        intervals = route_connection_intervals(
+            plane, "n", start, list(Direction), [goal]
+        )
+        assert (state is None) == (intervals is None)
+        if state is None or intervals is None:
+            return
+        assert intervals.bends == state.bends  # minimum-bend equivalence
+        assert intervals.path[0] == start and intervals.path[-1] == goal
+        assert path_length(intervals.path) == intervals.length
+        assert path_bends(intervals.path) == intervals.bends
+        # The interval path respects every obstacle rule.
+        for q in intervals.path:
+            assert not plane.occupied(q) or q in (start, goal) or q in plane.usage
+
+
+class TestEurekaIntegration:
+    def test_engine_option_routes_legally(self, two_buffer_diagram):
+        from repro.route.eureka import RouterOptions, route_diagram
+
+        report = route_diagram(two_buffer_diagram, RouterOptions(engine="intervals"))
+        assert report.nets_routed == 3
+        check_diagram(two_buffer_diagram)
+
+    @pytest.mark.parametrize("engine", ["state", "intervals"])
+    def test_example2_full(self, engine, example2):
+        from repro.core.generator import generate
+        from repro.place.pablo import PabloOptions
+        from repro.route.eureka import RouterOptions
+
+        result = generate(
+            example2, PabloOptions(partition_size=5), RouterOptions(engine=engine)
+        )
+        assert result.metrics.nets_failed == 0
+        check_diagram(result.diagram)

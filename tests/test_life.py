@@ -1,0 +1,114 @@
+"""Tests for the LIFE workload and its simulation (example 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import placement_violations
+from repro.sim.life_sim import LifeMachine
+from repro.sim.logic import SimulationError
+from repro.workloads.life import (
+    GLIDER,
+    NEIGHBOUR_OFFSETS,
+    hand_placement,
+    life_network,
+    reference_life_run,
+    reference_life_step,
+)
+
+
+class TestNetwork:
+    def test_paper_counts(self):
+        net = life_network()
+        assert len(net.modules) == 27
+        assert len(net.nets) == 222
+        assert len(net.system_terminals) == 4
+
+    def test_neighbour_nets_are_point_to_point(self):
+        net = life_network()
+        nb = [n for n in net.nets.values() if n.name.startswith("nb_")]
+        assert len(nb) == 200
+        assert all(len(n.pins) == 2 for n in nb)
+
+    def test_offsets_are_symmetric(self):
+        for k, (dr, dc) in enumerate(NEIGHBOUR_OFFSETS):
+            assert NEIGHBOUR_OFFSETS[7 - k] == (-dr, -dc)
+
+    def test_wraparound(self):
+        net = life_network()
+        # cell (0,0)'s north-west neighbour is cell (4,4) on the torus.
+        n = net.nets["nb_0_0_0"]
+        assert {p.module for p in n.pins} == {"cell_0_0", "cell_4_4"}
+
+    def test_control_nets_multipoint(self):
+        net = life_network()
+        for r in range(5):
+            assert len(net.nets[f"rowclk{r}"].pins) == 6
+            assert len(net.nets[f"load{r}"].pins) == 6
+        for c in range(5):
+            assert len(net.nets[f"data{c}"].pins) == 6
+
+
+class TestHandPlacement:
+    def test_legal_and_complete(self):
+        d = hand_placement()
+        assert d.is_placed
+        assert placement_violations(d) == []
+
+    def test_grid_structure(self):
+        d = hand_placement(pitch=20)
+        # Row 0 sits above row 4 (north is up).
+        assert (
+            d.placements["cell_0_0"].position.y
+            > d.placements["cell_4_0"].position.y
+        )
+        assert (
+            d.placements["cell_0_0"].position.x
+            < d.placements["cell_0_1"].position.x
+        )
+        # The controller column is left of the array.
+        assert d.placements["ctl"].position.x < d.placements["cell_0_0"].position.x
+
+
+class TestReferenceModel:
+    def test_block_is_still(self):
+        board = np.zeros((5, 5), dtype=np.int8)
+        board[1:3, 1:3] = 1  # block
+        assert np.array_equal(reference_life_step(board), board)
+
+    def test_blinker_oscillates(self):
+        board = np.zeros((5, 5), dtype=np.int8)
+        board[2, 1:4] = 1  # horizontal blinker
+        nxt = reference_life_step(board)
+        expected = np.zeros((5, 5), dtype=np.int8)
+        expected[1:4, 2] = 1
+        assert np.array_equal(nxt, expected)
+        assert np.array_equal(reference_life_step(nxt), board)
+
+    def test_glider_translates_on_torus(self):
+        after = reference_life_run(GLIDER, 20)  # 4 gens per cell moved, 5 cells
+        assert np.array_equal(after, GLIDER)  # full torus lap
+
+
+class TestLifeMachine:
+    def test_seed_loaded(self):
+        m = LifeMachine(GLIDER)
+        assert np.array_equal(m.board(), GLIDER)
+        assert m.done == 1
+
+    @pytest.mark.parametrize("generations", [1, 2, 5])
+    def test_matches_reference(self, generations):
+        m = LifeMachine(GLIDER)
+        got = m.step_generation(generations)
+        assert np.array_equal(got, reference_life_run(GLIDER, generations))
+
+    def test_random_seed_matches_reference(self):
+        rng = np.random.default_rng(11)
+        seed = (rng.random((5, 5)) < 0.4).astype(np.int8)
+        m = LifeMachine(seed)
+        got = m.step_generation(4)
+        assert np.array_equal(got, reference_life_run(seed, 4))
+
+    def test_diagram_connectivity_must_be_complete(self):
+        d = hand_placement()  # placed but unrouted
+        with pytest.raises(SimulationError, match="route"):
+            LifeMachine(GLIDER, diagram=d)

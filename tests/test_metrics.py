@@ -1,0 +1,81 @@
+"""Unit tests for the diagram quality metrics."""
+
+from repro.core.diagram import Diagram
+from repro.core.geometry import Point
+from repro.core.metrics import (
+    count_crossovers,
+    diagram_metrics,
+    net_branch_nodes,
+    net_metrics,
+)
+
+
+def _route(diagram, name, *paths):
+    route = diagram.route_for(name)
+    for path in paths:
+        route.add_path(list(path))
+    return route
+
+
+class TestNetMetrics:
+    def test_straight_wire(self, two_buffer_diagram):
+        route = _route(two_buffer_diagram, "n_mid", [Point(3, 1), Point(8, 1)])
+        m = net_metrics(route)
+        assert (m.length, m.bends, m.branch_nodes) == (5, 0, 0)
+
+    def test_l_wire(self, two_buffer_diagram):
+        route = _route(
+            two_buffer_diagram, "n_mid", [Point(3, 1), Point(3, 5), Point(8, 5)]
+        )
+        m = net_metrics(route)
+        assert (m.length, m.bends) == (9, 1)
+
+    def test_branch_node(self, two_buffer_diagram):
+        route = _route(
+            two_buffer_diagram,
+            "n_mid",
+            [Point(0, 0), Point(10, 0)],
+            [Point(5, 0), Point(5, 5)],  # T junction at (5, 0)
+        )
+        assert net_branch_nodes(route) == 1
+
+    def test_cross_within_same_net_is_x_node(self, two_buffer_diagram):
+        route = _route(
+            two_buffer_diagram,
+            "n_mid",
+            [Point(0, 0), Point(10, 0)],
+            [Point(5, -5), Point(5, 5)],
+        )
+        assert net_branch_nodes(route) == 1  # the X point has degree 4
+
+
+class TestCrossovers:
+    def test_none(self, two_buffer_diagram):
+        _route(two_buffer_diagram, "n_mid", [Point(3, 1), Point(8, 1)])
+        assert count_crossovers(two_buffer_diagram) == 0
+
+    def test_single_cross(self, two_buffer_diagram):
+        _route(two_buffer_diagram, "n_mid", [Point(0, 1), Point(10, 1)])
+        _route(two_buffer_diagram, "n_in", [Point(5, -3), Point(5, 4)])
+        assert count_crossovers(two_buffer_diagram) == 1
+
+    def test_three_nets_through_one_point(self, two_buffer_diagram):
+        # Degenerate but countable: 3 nets at one point = 3 pairs.
+        _route(two_buffer_diagram, "n_mid", [Point(0, 0), Point(4, 0)])
+        _route(two_buffer_diagram, "n_in", [Point(2, -2), Point(2, 2)])
+        _route(two_buffer_diagram, "n_out", [Point(2, -3), Point(2, 3)])
+        assert count_crossovers(two_buffer_diagram) >= 3
+
+
+class TestDiagramMetrics:
+    def test_counts_routed_and_failed(self, two_buffer_diagram):
+        _route(two_buffer_diagram, "n_mid", [Point(3, 1), Point(8, 1)])
+        m = diagram_metrics(two_buffer_diagram)
+        assert m.nets_total == 3
+        assert m.nets_routed == 1
+        assert m.nets_failed == 2
+        assert m.length == 5
+
+    def test_as_row(self, two_buffer_diagram):
+        row = diagram_metrics(two_buffer_diagram).as_row()
+        assert row["nets"] == 3 and row["routed"] == 0

@@ -1,0 +1,117 @@
+"""Tests for module placement inside boxes (rotation, spacing, bends)."""
+
+import pytest
+
+from repro.core.diagram import Diagram
+from repro.core.geometry import Point, Side
+from repro.core.netlist import Network
+from repro.core.validate import placement_violations
+from repro.place.boxes import form_boxes
+from repro.place.module_place import connected_terminals_on, place_box
+from repro.core.rotation import Rotation
+from repro.workloads.examples import example1_string
+from repro.workloads.stdlib import instantiate, make_module
+
+
+@pytest.fixture
+def string_network() -> Network:
+    net = example1_string()
+    return net
+
+
+def _string(net) -> list[str]:
+    boxes = form_boxes(net, sorted(net.modules), max_box_size=10)
+    return max(boxes, key=len)
+
+
+class TestPlaceBox:
+    def test_left_to_right_levels(self, string_network):
+        box = _string(string_network)
+        layout = place_box(string_network, box)
+        xs = [layout.positions[m].x for m in box]
+        assert xs == sorted(xs)
+        assert len(set(xs)) == len(xs)
+
+    def test_no_overlaps(self, string_network):
+        box = _string(string_network)
+        layout = place_box(string_network, box)
+        d = Diagram(string_network)
+        for m in box:
+            d.place_module(m, layout.positions[m], layout.rotations[m])
+        assert placement_violations(d) == []
+
+    def test_box_encloses_modules_with_white_space(self, string_network):
+        box = _string(string_network)
+        layout = place_box(string_network, box)
+        for m in box:
+            pos = layout.positions[m]
+            mod = string_network.modules[m]
+            w, h = layout.rotations[m].size(mod.width, mod.height)
+            assert pos.x >= 1 and pos.y >= 1  # at least f() = 0 + 1 track
+            assert pos.x + w < layout.width
+            assert pos.y + h < layout.height
+
+    def test_string_nets_have_zero_bends_when_aligned(self, string_network):
+        """The lemma of 4.6.4: for out-right/in-left terminals at the same
+        height the connecting nets are straight."""
+        box = _string(string_network)
+        layout = place_box(string_network, box)
+        for prev, nxt in zip(box, box[1:]):
+            # find the connecting terminals
+            from repro.place.boxes import string_edge
+
+            e = string_edge(string_network, prev, nxt, set(box))
+            p_out = layout.terminal_point(string_network, prev, e.source_terminal)
+            p_in = layout.terminal_point(string_network, nxt, e.sink_terminal)
+            assert p_out.y == p_in.y  # same track: zero bends possible
+            assert p_out.x < p_in.x
+
+    def test_extra_space_widens_box(self, string_network):
+        box = _string(string_network)
+        tight = place_box(string_network, box, extra_space=0)
+        roomy = place_box(string_network, box, extra_space=2)
+        assert roomy.width > tight.width
+        assert roomy.height > tight.height
+
+    def test_singleton_box(self):
+        net = Network()
+        net.add_module(instantiate("alu", "solo"))
+        layout = place_box(net, ["solo"])
+        assert layout.rotations["solo"] is Rotation.R0
+        assert layout.width >= net.modules["solo"].width
+
+
+class TestRotationChoice:
+    def test_source_rotated_to_right(self):
+        """A first module whose driving terminal sits on top must be
+        rotated so it faces right."""
+        net = Network()
+        net.add_module(make_module("src", 4, 4, [("q", "out", 2, 4)]))  # up
+        net.add_module(make_module("dst", 4, 4, [("d", "in", 0, 2)]))  # left
+        net.connect("n", "src.q", "dst.d")
+        layout = place_box(net, ["src", "dst"])
+        rot = layout.rotations["src"]
+        assert rot.side(Side.UP) is Side.RIGHT
+        assert layout.rotations["dst"] is Rotation.R0  # already faces left
+
+    def test_sink_rotated_to_left(self):
+        net = Network()
+        net.add_module(make_module("src", 4, 4, [("q", "out", 4, 2)]))  # right
+        net.add_module(make_module("dst", 4, 4, [("d", "in", 2, 0)]))  # down
+        net.connect("n", "src.q", "dst.d")
+        layout = place_box(net, ["src", "dst"])
+        rot = layout.rotations["dst"]
+        assert rot.side(Side.DOWN) is Side.LEFT
+
+
+class TestWhiteSpace:
+    def test_connected_terminals_on(self):
+        net = Network()
+        net.add_module(instantiate("and2", "g"))
+        net.connect("n", "g.a", "g.y")  # a (left) and y (right) connected
+        mod = net.modules["g"]
+        assert connected_terminals_on(net, mod, Rotation.R0, Side.LEFT) == 1
+        assert connected_terminals_on(net, mod, Rotation.R0, Side.RIGHT) == 1
+        assert connected_terminals_on(net, mod, Rotation.R0, Side.UP) == 0
+        # b is unconnected so it does not count.
+        assert connected_terminals_on(net, mod, Rotation.R90, Side.DOWN) == 1

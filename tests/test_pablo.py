@@ -1,0 +1,105 @@
+"""Tests for the PABLO placement driver (options, preplaced parts)."""
+
+import pytest
+
+from repro.core.diagram import Diagram
+from repro.core.geometry import Point
+from repro.core.netlist import Pin
+from repro.core.validate import placement_violations
+from repro.place.pablo import PabloOptions, place_network
+from repro.workloads.examples import example1_string, example2_controller
+from repro.workloads.life import life_network
+
+
+class TestOptions:
+    def test_defaults_match_appendix_e(self):
+        opts = PabloOptions()
+        assert opts.partition_size == 1
+        assert opts.box_size == 1
+        assert opts.partition_spacing == 0
+
+    def test_limits_property(self):
+        opts = PabloOptions(partition_size=5, max_connections=7)
+        assert opts.limits.max_size == 5
+        assert opts.limits.max_connections == 7
+
+
+class TestPlaceNetwork:
+    def test_all_modules_and_terminals_placed(self, example2):
+        diagram, report = place_network(example2, PabloOptions(partition_size=5))
+        assert diagram.is_placed
+        assert placement_violations(diagram) == []
+        assert report.partition_count >= 3
+        assert report.seconds >= 0
+
+    def test_example1_single_box(self, example1):
+        diagram, report = place_network(
+            example1, PabloOptions(partition_size=7, box_size=7)
+        )
+        assert report.partition_count == 1
+        assert report.box_count == 1
+        assert diagram.is_placed
+
+    def test_partition_size_1_gives_singletons(self, example2):
+        _, report = place_network(example2, PabloOptions())
+        assert report.partition_count == 16
+        assert all(len(p) == 1 for p in report.partitions)
+
+    def test_spacing_options_grow_layout(self, example2):
+        small, _ = place_network(example2, PabloOptions(partition_size=5))
+        big, _ = place_network(
+            example2,
+            PabloOptions(partition_size=5, partition_spacing=4, box_spacing=2),
+        )
+        area_small = small.bounding_box(include_routes=False).area
+        area_big = big.bounding_box(include_routes=False).area
+        assert area_big > area_small
+
+    def test_deterministic(self, example2):
+        a, _ = place_network(example2, PabloOptions(partition_size=5, box_size=3))
+        b, _ = place_network(example2, PabloOptions(partition_size=5, box_size=3))
+        assert {m: pm.position for m, pm in a.placements.items()} == {
+            m: pm.position for m, pm in b.placements.items()
+        }
+        assert a.terminal_positions == b.terminal_positions
+
+    def test_life_places_clean(self):
+        net = life_network()
+        diagram, report = place_network(net, PabloOptions(partition_size=7, box_size=5))
+        assert diagram.is_placed
+        assert placement_violations(diagram) == []
+
+
+class TestPreplaced:
+    def test_preplaced_part_untouched(self, example2):
+        pre = Diagram(example2)
+        pre.place_module("ctl", Point(100, 100))
+        pre.place_module("reg0", Point(120, 100))
+        diagram, report = place_network(
+            example2, PabloOptions(partition_size=5), preplaced=pre
+        )
+        assert diagram.placements["ctl"].position == Point(100, 100)
+        assert diagram.placements["reg0"].position == Point(120, 100)
+        assert diagram.is_placed
+        assert placement_violations(diagram) == []
+        # The preplaced modules never entered the partitioning.
+        flat = {m for p in report.partitions for m in p}
+        assert "ctl" not in flat and "reg0" not in flat
+
+    def test_preplaced_routes_survive(self, example2):
+        pre = Diagram(example2)
+        pre.place_module("ctl", Point(100, 100))
+        pre.place_module("reg0", Point(120, 103))
+        # Preroute the controller's enable net by hand.
+        a = pre.pin_position(Pin("ctl", "c0"))
+        b = pre.pin_position(Pin("reg0", "en"))
+        pre.route_for("c0_en").add_path([a, Point(b.x, a.y), b])
+        diagram, _ = place_network(
+            example2, PabloOptions(partition_size=5), preplaced=pre
+        )
+        assert diagram.routes["c0_en"].paths
+
+    def test_wrong_network_rejected(self, example1, example2):
+        pre = Diagram(example1)
+        with pytest.raises(ValueError):
+            place_network(example2, preplaced=pre)

@@ -1,0 +1,123 @@
+"""Tests for design partitioning (seed selection, cluster growth)."""
+
+import math
+
+import pytest
+
+from repro.core.netlist import Network
+from repro.place.partitioning import (
+    PartitionLimits,
+    form_partition,
+    partition_network,
+    take_a_seed,
+)
+from repro.workloads.examples import example2_controller
+from repro.workloads.stdlib import instantiate
+
+
+@pytest.fixture
+def clustered() -> Network:
+    """Two tight triangles joined by one weak net."""
+    net = Network()
+    for name in ("a0", "a1", "a2", "b0", "b1", "b2"):
+        net.add_module(instantiate("and2", name))
+    net.connect("na0", "a0.y", "a1.a")
+    net.connect("na1", "a1.y", "a2.a")
+    net.connect("na2", "a2.y", "a0.a")
+    net.connect("nb0", "b0.y", "b1.a")
+    net.connect("nb1", "b1.y", "b2.a")
+    net.connect("nb2", "b2.y", "b0.a")
+    net.connect("bridge", "a0.b", "b0.b")
+    return net
+
+
+class TestLimits:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PartitionLimits(max_size=0)
+
+
+class TestSeed:
+    def test_most_connected_wins(self, clustered):
+        # a0 and b0 have 3 nets to free modules, others have 2.
+        seed = take_a_seed(clustered, set(clustered.modules), set())
+        assert seed in ("a0", "b0")
+
+    def test_tie_prefers_fewest_to_placed(self, clustered):
+        free = set(clustered.modules) - {"a0"}
+        # b0, b1 and b2 tie at two free-connections each, but b0 touches
+        # the placed a0 through the bridge net, so b1/b2 win the tie and
+        # the lexicographic fallback picks b1.
+        assert take_a_seed(clustered, free, {"a0"}) == "b1"
+
+
+class TestFormPartition:
+    def test_grows_cluster_before_bridge(self, clustered):
+        free = set(clustered.modules)
+        part = form_partition(
+            clustered, free, "a0", PartitionLimits(max_size=3)
+        )
+        assert sorted(part) == ["a0", "a1", "a2"]
+        assert free == {"b0", "b1", "b2"}
+
+    def test_size_limit(self, clustered):
+        free = set(clustered.modules)
+        part = form_partition(clustered, free, "a0", PartitionLimits(max_size=2))
+        assert len(part) == 2
+
+    def test_connection_limit_stops_growth(self, clustered):
+        free = set(clustered.modules)
+        # a0 alone has 3 external nets; the limit of 1 forbids any growth.
+        part = form_partition(
+            clustered,
+            free,
+            "a0",
+            PartitionLimits(max_size=10, max_connections=1),
+        )
+        assert part == ["a0"]
+
+
+class TestPartitionNetwork:
+    def test_every_module_in_exactly_one_partition(self, clustered):
+        parts = partition_network(clustered, PartitionLimits(max_size=3))
+        flat = [m for p in parts for m in p]
+        assert sorted(flat) == sorted(clustered.modules)
+        assert len(flat) == len(set(flat))
+
+    def test_partition_size_one_is_trivial(self, clustered):
+        parts = partition_network(clustered, PartitionLimits(max_size=1))
+        assert len(parts) == 6
+        assert all(len(p) == 1 for p in parts)
+
+    def test_functional_clusters_found(self, clustered):
+        parts = partition_network(clustered, PartitionLimits(max_size=3))
+        as_sets = {frozenset(p) for p in parts}
+        assert frozenset({"a0", "a1", "a2"}) in as_sets
+        assert frozenset({"b0", "b1", "b2"}) in as_sets
+
+    def test_exclude_preplaced(self, clustered):
+        parts = partition_network(
+            clustered, PartitionLimits(max_size=3), exclude={"a0", "a1", "a2"}
+        )
+        flat = {m for p in parts for m in p}
+        assert flat == {"b0", "b1", "b2"}
+
+    def test_example2_partition5_isolates_clusters(self):
+        # Figure 6.3: partition size 5 must yield functional parts whose
+        # only common nets come from the central controller.
+        net = example2_controller()
+        parts = partition_network(net, PartitionLimits(max_size=5))
+        assert all(len(p) <= 5 for p in parts)
+        # Each datapath cluster's five members stay together (up to the
+        # partition that swallowed the controller having one less slot).
+        by_module = {m: i for i, p in enumerate(parts) for m in p}
+        for i in range(3):
+            cluster = [f"reg{i}", f"alu{i}", f"mux{i}", f"out{i}"]
+            owners = {by_module[m] for m in cluster}
+            assert len(owners) <= 2
+
+    def test_unlimited_partition_takes_everything(self, clustered):
+        parts = partition_network(
+            clustered, PartitionLimits(max_size=100, max_connections=math.inf)
+        )
+        assert len(parts) == 1

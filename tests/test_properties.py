@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The invariants here are the load-bearing ones: path metrics are consistent
+under normalisation, rotations form a group acting on module outlines,
+the router's output is always legal and cost-consistent, partitioning is
+a true partition, and gravity placement never overlaps.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import (
+    Direction,
+    Point,
+    Rect,
+    normalize_path,
+    path_bends,
+    path_length,
+    path_points,
+    path_segments,
+)
+from repro.core.rotation import Rotation
+from repro.place.gravity import GravityItem, place_by_gravity
+from repro.place.partitioning import PartitionLimits, partition_network
+from repro.route.line_expansion import route_connection
+from repro.route.plane import Plane
+from repro.workloads.random_nets import random_network
+
+# -- strategies -----------------------------------------------------------
+
+points = st.builds(Point, st.integers(-20, 20), st.integers(-20, 20))
+directions = st.sampled_from(list(Direction))
+
+
+@st.composite
+def rectilinear_paths(draw) -> list[Point]:
+    start = draw(points)
+    path = [start]
+    for _ in range(draw(st.integers(0, 8))):
+        d = draw(directions)
+        amount = draw(st.integers(1, 6))
+        path.append(path[-1].step(d, amount))
+    return path
+
+
+@st.composite
+def small_rects(draw) -> Rect:
+    return Rect(
+        draw(st.integers(-10, 10)),
+        draw(st.integers(-10, 10)),
+        draw(st.integers(1, 8)),
+        draw(st.integers(1, 8)),
+    )
+
+
+# -- geometry properties ------------------------------------------------
+
+
+class TestPathProperties:
+    @given(rectilinear_paths())
+    def test_normalization_preserves_metrics(self, path):
+        norm = normalize_path(path)
+        assert path_length(norm) == path_length(path)
+        assert norm[0] == path[0] and norm[-1] == path[-1]
+        assert normalize_path(norm) == norm  # idempotent
+
+    @given(rectilinear_paths())
+    def test_length_equals_point_count(self, path):
+        pts = list(path_points(path))
+        # Walking the path visits length+1 points (with repeats on
+        # self-overlap, which still count as steps).
+        assert len(pts) == path_length(path) + 1
+
+    @given(rectilinear_paths())
+    def test_bends_bounded_by_segments(self, path):
+        segs = path_segments(normalize_path(path))
+        assert path_bends(path) == max(0, len(segs) - 1)
+
+    @given(rectilinear_paths())
+    def test_segments_cover_length(self, path):
+        assert sum(s.length for s in path_segments(path)) == path_length(path)
+
+
+class TestRectProperties:
+    @given(small_rects(), small_rects())
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlaps(b, touching_ok=False) == b.overlaps(a, touching_ok=False)
+
+    @given(small_rects(), small_rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        for r in (a, b):
+            assert u.x <= r.x and u.y <= r.y
+            assert u.x2 >= r.x2 and u.y2 >= r.y2
+
+    @given(small_rects(), st.integers(0, 5))
+    def test_expand_monotone(self, r, m):
+        e = r.expand(m)
+        assert e.w == r.w + 2 * m and e.h == r.h + 2 * m
+
+
+class TestRotationProperties:
+    @given(
+        st.sampled_from(list(Rotation)),
+        st.sampled_from(list(Rotation)),
+        st.integers(1, 9),
+        st.integers(1, 9),
+        st.data(),
+    )
+    def test_compose_acts_like_sequential_application(self, r1, r2, w, h, data):
+        # A point on the outline of a w x h module.
+        perimeter = (
+            [Point(0, y) for y in range(h + 1)]
+            + [Point(w, y) for y in range(h + 1)]
+            + [Point(x, 0) for x in range(1, w)]
+            + [Point(x, h) for x in range(1, w)]
+        )
+        p = data.draw(st.sampled_from(perimeter))
+        w1, h1 = r1.size(w, h)
+        q = r2.apply(r1.apply(p, w, h), w1, h1)
+        assert q == r1.compose(r2).apply(p, w, h)
+
+    @given(st.sampled_from(list(Rotation)), st.integers(1, 9), st.integers(1, 9))
+    def test_inverse_undoes(self, r, w, h):
+        p = Point(0, h // 2)
+        rw, rh = r.size(w, h)
+        assert r.inverse.apply(r.apply(p, w, h), rw, rh) == p
+
+
+# -- router properties ------------------------------------------------------
+
+
+@st.composite
+def routing_scenes(draw):
+    plane = Plane(bounds=Rect(0, 0, 24, 24))
+    for _ in range(draw(st.integers(0, 4))):
+        r = draw(
+            st.builds(
+                Rect,
+                st.integers(2, 18),
+                st.integers(2, 18),
+                st.integers(1, 5),
+                st.integers(1, 5),
+            )
+        )
+        plane.block_rect(r)
+    free = [
+        Point(x, y)
+        for x in range(25)
+        for y in range(25)
+        if not plane.occupied(Point(x, y))
+    ]
+    start = draw(st.sampled_from(free))
+    goal = draw(st.sampled_from(free))
+    return plane, start, goal
+
+
+class TestRouterProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(routing_scenes())
+    def test_route_is_legal_and_cost_consistent(self, scene):
+        plane, start, goal = scene
+        r = route_connection(plane, "n", start, list(Direction), [goal])
+        if r is None:
+            return  # separated by obstacles: allowed
+        assert r.path[0] == start and r.path[-1] == goal
+        assert path_length(r.path) == r.length
+        assert path_bends(r.path) == r.bends
+        for p in r.path:
+            assert not plane.occupied(p) or p in (start, goal)
+
+    @settings(max_examples=40, deadline=None)
+    @given(routing_scenes())
+    def test_bends_never_beat_lee_on_length_alone(self, scene):
+        from repro.route.lee import route_lee
+
+        plane, start, goal = scene
+        exp = route_connection(plane, "n", start, list(Direction), [goal])
+        lee = route_lee(plane, "n", start, list(Direction), [goal])
+        assert (exp is None) == (lee is None)  # both are exhaustive
+        if exp is not None:
+            assert lee.length <= exp.length
+            assert exp.bends <= lee.bends
+
+
+# -- placement properties ---------------------------------------------------
+
+
+class TestPartitionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 30), st.integers(1, 6))
+    def test_partitioning_is_a_partition(self, seed, max_size):
+        net = random_network(modules=10, seed=seed)
+        parts = partition_network(net, PartitionLimits(max_size=max_size))
+        flat = [m for p in parts for m in p]
+        assert sorted(flat) == sorted(net.modules)
+        assert len(flat) == len(set(flat))
+        assert all(1 <= len(p) <= max_size for p in parts)
+
+
+class TestGravityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_never_overlaps(self, data):
+        n = data.draw(st.integers(1, 7))
+        items = []
+        for i in range(n):
+            w = data.draw(st.integers(1, 6))
+            h = data.draw(st.integers(1, 6))
+            nets = {
+                f"n{data.draw(st.integers(0, 3))}": [Point(0, 0)]
+                for _ in range(data.draw(st.integers(0, 2)))
+            }
+            items.append(GravityItem(f"i{i}", w, h, net_points=nets, weight=i))
+        pos = place_by_gravity(items, spacing=data.draw(st.integers(0, 2)))
+        rects = [
+            Rect(pos[i.key].x, pos[i.key].y, i.width, i.height) for i in items
+        ]
+        for a in range(len(rects)):
+            for b in range(a + 1, len(rects)):
+                assert not rects[a].overlaps(rects[b])

@@ -1,0 +1,63 @@
+"""Tests for the SVG and ASCII renderers."""
+
+from repro.core.geometry import Point
+from repro.render.ascii_art import render_ascii
+from repro.render.svg import render_svg, save_svg
+from repro.route.eureka import route_diagram
+
+
+class TestSvg:
+    def test_document_structure(self, two_buffer_diagram):
+        route_diagram(two_buffer_diagram)
+        svg = render_svg(two_buffer_diagram)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= 3  # background + 2 modules
+        assert "<polyline" in svg
+        assert ">u0<" in svg and ">u1<" in svg
+        assert ">din<" in svg  # terminal label
+
+    def test_net_names_optional(self, two_buffer_diagram):
+        route_diagram(two_buffer_diagram)
+        assert "n_mid" not in render_svg(two_buffer_diagram)
+        assert "n_mid" in render_svg(two_buffer_diagram, show_net_names=True)
+
+    def test_save(self, tmp_path, two_buffer_diagram):
+        path = save_svg(two_buffer_diagram, tmp_path / "out" / "d.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_escapes_names(self, two_buffer_network):
+        two_buffer_network.modules["u0"].name = "u<0>"
+        two_buffer_network.modules["u<0>"] = two_buffer_network.modules.pop("u0")
+        from repro.core.diagram import Diagram
+
+        d = Diagram(two_buffer_network)
+        d.place_module("u<0>", Point(0, 0))
+        svg = render_svg(d)
+        assert "u<0>" not in svg
+        assert "u&lt;0&gt;" in svg
+
+
+class TestAscii:
+    def test_modules_and_wires_drawn(self, two_buffer_diagram):
+        route_diagram(two_buffer_diagram)
+        art = render_ascii(two_buffer_diagram)
+        assert "u0" in art and "u1" in art
+        assert "@" in art  # system terminals
+        assert "o" in art  # subsystem terminals
+        assert "-" in art or "|" in art
+
+    def test_crossings_marked(self, two_buffer_diagram):
+        two_buffer_diagram.route_for("n_mid").add_path(
+            [Point(4, 4), Point(9, 4)]
+        )
+        two_buffer_diagram.route_for("n_in").add_path(
+            [Point(6, 3), Point(6, 6)]
+        )
+        art = render_ascii(two_buffer_diagram)
+        assert "#" in art
+
+    def test_deterministic(self, two_buffer_diagram):
+        route_diagram(two_buffer_diagram)
+        assert render_ascii(two_buffer_diagram) == render_ascii(two_buffer_diagram)

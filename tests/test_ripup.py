@@ -1,0 +1,86 @@
+"""Tests for rip-up-and-reroute and the congestion workload."""
+
+from repro.core.generator import route_placed
+from repro.core.geometry import Side
+from repro.core.metrics import diagram_metrics
+from repro.core.validate import check_diagram, placement_violations
+from repro.route.eureka import RouterOptions
+from repro.route.ripup import reroute_failed
+from repro.workloads.congestion import facing_pairs_diagram
+
+
+class TestCongestionWorkload:
+    def test_placement_legal(self):
+        d = facing_pairs_diagram(pairs=4, seed=0)
+        assert d.is_placed
+        assert placement_violations(d) == []
+
+    def test_deterministic(self):
+        a = facing_pairs_diagram(pairs=3, seed=5)
+        b = facing_pairs_diagram(pairs=3, seed=5)
+        assert {m: p.position for m, p in a.placements.items()} == {
+            m: p.position for m, p in b.placements.items()
+        }
+
+    def test_net_counts(self):
+        d = facing_pairs_diagram(pairs=5, nets_per_pair=3, seed=1)
+        assert len(d.network.modules) == 10
+        assert len(d.network.nets) == 15
+
+    def test_claims_rescue_congested_channels(self):
+        opts = dict(
+            retry_failed=False,
+            margin=1,
+            fixed_sides=frozenset({Side.LEFT, Side.RIGHT}),
+        )
+        failures = {True: 0, False: 0}
+        for seed in range(4):
+            for claims in (True, False):
+                d = facing_pairs_diagram(pairs=6, nets_per_pair=4, seed=seed)
+                r = route_placed(d, RouterOptions(claimpoints=claims, **opts))
+                failures[claims] += r.metrics.nets_failed
+        assert failures[True] < failures[False]
+
+
+class TestRipup:
+    def _congested(self, seed=0):
+        return facing_pairs_diagram(pairs=6, nets_per_pair=4, seed=seed)
+
+    def test_completes_failed_diagram(self):
+        opts = RouterOptions(
+            claimpoints=False,
+            retry_failed=False,
+            margin=1,
+            fixed_sides=frozenset({Side.LEFT, Side.RIGHT}),
+        )
+        d = self._congested()
+        route_placed(d, opts)
+        before = diagram_metrics(d)
+        assert before.nets_failed > 0  # the scenario really fails
+        report = reroute_failed(d, opts)
+        after = diagram_metrics(d)
+        assert after.nets_failed < before.nets_failed
+        if report.complete:
+            assert after.nets_failed == 0
+        check_diagram(d)
+
+    def test_noop_on_complete_diagram(self, two_buffer_diagram):
+        from repro.route.eureka import route_diagram
+
+        route_diagram(two_buffer_diagram)
+        report = reroute_failed(two_buffer_diagram)
+        assert report.iterations == 0
+        assert report.complete
+        assert not report.ripped_nets
+
+    def test_result_stays_legal(self):
+        opts = RouterOptions(
+            retry_failed=False,
+            margin=1,
+            fixed_sides=frozenset({Side.LEFT, Side.RIGHT}),
+        )
+        for seed in range(3):
+            d = self._congested(seed)
+            route_placed(d, opts)
+            reroute_failed(d, opts, max_iterations=2)
+            check_diagram(d)

@@ -1,0 +1,68 @@
+"""Unit tests for module rotation."""
+
+import pytest
+
+from repro.core.geometry import Point, Side
+from repro.core.rotation import Rotation
+
+
+class TestRotation:
+    def test_sizes(self):
+        assert Rotation.R0.size(3, 5) == (3, 5)
+        assert Rotation.R90.size(3, 5) == (5, 3)
+        assert Rotation.R180.size(3, 5) == (3, 5)
+        assert Rotation.R270.size(3, 5) == (5, 3)
+
+    def test_apply_corners(self):
+        # Lower-left corner of a 4x2 module under every rotation.
+        assert Rotation.R0.apply(Point(0, 0), 4, 2) == Point(0, 0)
+        assert Rotation.R90.apply(Point(0, 0), 4, 2) == Point(2, 0)
+        assert Rotation.R180.apply(Point(0, 0), 4, 2) == Point(4, 2)
+        assert Rotation.R270.apply(Point(0, 0), 4, 2) == Point(0, 4)
+
+    @pytest.mark.parametrize("rotation", list(Rotation))
+    def test_apply_stays_on_outline(self, rotation):
+        # A terminal on the outline must stay on the rotated outline.
+        from repro.core.geometry import Rect
+
+        w, h = 5, 3
+        for p in [Point(0, 1), Point(5, 2), Point(2, 0), Point(4, 3)]:
+            q = rotation.apply(p, w, h)
+            rw, rh = rotation.size(w, h)
+            assert Rect(0, 0, rw, rh).side_of(q) is not None
+
+    def test_side_cycle(self):
+        assert Rotation.R90.side(Side.LEFT) is Side.DOWN
+        assert Rotation.R90.side(Side.DOWN) is Side.RIGHT
+        assert Rotation.R90.side(Side.RIGHT) is Side.UP
+        assert Rotation.R90.side(Side.UP) is Side.LEFT
+        assert Rotation.R180.side(Side.LEFT) is Side.RIGHT
+
+    def test_side_consistent_with_apply(self):
+        # The side computed symbolically must match the geometric side of
+        # the rotated offset.
+        from repro.core.geometry import Rect
+
+        w, h = 4, 2
+        rect0 = Rect(0, 0, w, h)
+        samples = [Point(0, 1), Point(4, 1), Point(2, 2), Point(2, 0)]
+        for rotation in Rotation:
+            rw, rh = rotation.size(w, h)
+            rect1 = Rect(0, 0, rw, rh)
+            for p in samples:
+                side0 = rect0.side_of(p)
+                q = rotation.apply(p, w, h)
+                assert rect1.side_of(q) is rotation.side(side0)
+
+    def test_taking(self):
+        assert Rotation.taking(Side.LEFT, Side.LEFT) is Rotation.R0
+        rot = Rotation.taking(Side.UP, Side.LEFT)
+        assert rot.side(Side.UP) is Side.LEFT
+        for a in Side:
+            for b in Side:
+                assert Rotation.taking(a, b).side(a) is b
+
+    def test_compose_inverse(self):
+        for r in Rotation:
+            assert r.compose(r.inverse) is Rotation.R0
+        assert Rotation.R90.compose(Rotation.R180) is Rotation.R270

@@ -1,0 +1,161 @@
+"""Tests for the logic simulator and the behavioural library."""
+
+import numpy as np
+import pytest
+
+from repro.core.netlist import Network, TermType
+from repro.sim.behaviors import (
+    Combinational,
+    DFlipFlop,
+    EnabledRegister,
+    LifeCell,
+    default_behaviors,
+)
+from repro.sim.logic import LogicSimulator, SimulationError
+from repro.workloads.stdlib import instantiate
+
+
+def _xor_chain() -> tuple[Network, dict]:
+    net = Network()
+    net.add_module(instantiate("xor2", "x"))
+    net.add_module(instantiate("dff", "ff"))
+    net.add_system_terminal("a", TermType.IN)
+    net.add_system_terminal("b", TermType.IN)
+    net.add_system_terminal("q", TermType.OUT)
+    net.connect("na", "a", "x.a")
+    net.connect("nb", "b", "x.b")
+    net.connect("nx", "x.y", "ff.d")
+    net.connect("nq", "ff.q", "q")
+    return net, default_behaviors(net)
+
+
+class TestSimulator:
+    def test_combinational_propagation(self):
+        net, behaviors = _xor_chain()
+        sim = LogicSimulator(net, behaviors)
+        sim.set_input("a", 1)
+        values = sim.settle()
+        assert values["nx"] == 1
+        assert values["nq"] == 0  # flip-flop not ticked yet
+
+    def test_register_samples_on_step(self):
+        net, behaviors = _xor_chain()
+        sim = LogicSimulator(net, behaviors)
+        sim.step(a=1, b=0)
+        assert sim.read_output("q") == 0  # q shows pre-tick state this cycle
+        sim.settle()
+        assert sim.read_output("q") == 1  # after the tick
+
+    def test_missing_behavior_rejected(self):
+        net, behaviors = _xor_chain()
+        del behaviors["x"]
+        with pytest.raises(SimulationError, match="no behaviour"):
+            LogicSimulator(net, behaviors)
+
+    def test_conflicting_drivers_detected(self):
+        net = Network()
+        net.add_module(instantiate("buf", "u"))
+        net.add_module(instantiate("inv", "v"))
+        net.add_module(instantiate("buf", "w"))
+        net.connect("n", "u.y", "v.y", "w.a")  # two drivers on one net
+        sim = LogicSimulator(net, default_behaviors(net))
+        with pytest.raises(SimulationError, match="conflicting"):
+            sim.settle()
+
+    def test_driving_non_output_rejected(self):
+        net = Network()
+        net.add_module(instantiate("buf", "u"))
+        net.add_module(instantiate("buf", "v"))
+        net.connect("n", "u.y", "v.a")
+        sim = LogicSimulator(
+            net,
+            {
+                "u": Combinational(lambda ins: {"a": 1}),  # drives its input!
+                "v": Combinational(lambda ins: {"y": ins.get("a", 0)}),
+            },
+        )
+        with pytest.raises(SimulationError, match="non-output"):
+            sim.settle()
+
+    def test_oscillation_detected(self):
+        net = Network()
+        net.add_module(instantiate("inv", "i0"))
+        net.add_module(instantiate("inv", "i1"))
+        net.connect("n0", "i0.y", "i1.a")
+        net.connect("n1", "i1.y", "i0.a")  # combinational ring oscillator
+        sim = LogicSimulator(net, default_behaviors(net))
+        with pytest.raises(SimulationError, match="settle"):
+            sim.settle()
+
+    def test_unknown_input_rejected(self):
+        net, behaviors = _xor_chain()
+        sim = LogicSimulator(net, behaviors)
+        with pytest.raises(SimulationError):
+            sim.set_input("nope", 1)
+        with pytest.raises(SimulationError):
+            sim.set_input("q", 1)  # q is an output
+
+
+class TestBehaviors:
+    def test_gates(self):
+        net = Network()
+        for t in ("and2", "or2", "xor2", "inv", "buf"):
+            net.add_module(instantiate(t, t))
+        b = default_behaviors(net)
+        assert b["and2"].evaluate({"a": 1, "b": 1})["y"] == 1
+        assert b["and2"].evaluate({"a": 1, "b": 0})["y"] == 0
+        assert b["or2"].evaluate({"a": 0, "b": 1})["y"] == 1
+        assert b["xor2"].evaluate({"a": 1, "b": 1})["y"] == 0
+        assert b["inv"].evaluate({"a": 0})["y"] == 1
+        assert b["buf"].evaluate({"a": 1})["y"] == 1
+
+    def test_fulladder(self):
+        net = Network()
+        net.add_module(instantiate("fulladder", "fa"))
+        fa = default_behaviors(net)["fa"]
+        out = fa.evaluate({"a": 1, "b": 1, "cin": 1})
+        assert out == {"sum": 1, "cout": 1}
+        assert fa.evaluate({"a": 1, "b": 0, "cin": 0}) == {"sum": 1, "cout": 0}
+
+    def test_dff_holds_until_tick(self):
+        ff = DFlipFlop()
+        assert ff.evaluate({"d": 1})["q"] == 0
+        ff.tick({"d": 1})
+        assert ff.evaluate({})["q"] == 1
+
+    def test_enabled_register(self):
+        r = EnabledRegister()
+        r.tick({"d": 1, "en": 0})
+        assert r.evaluate({})["q"] == 0
+        r.tick({"d": 1, "en": 1})
+        assert r.evaluate({})["q"] == 1
+
+    def test_life_cell_rules(self):
+        cell = LifeCell()
+        cell.tick({"load": 1, "data": 1})
+        assert cell.state == 1
+        # Two live neighbours: survives.
+        cell.tick({"clk": 1, **{f"n{k}": 1 for k in range(2)}})
+        assert cell.state == 1
+        # One neighbour: dies.
+        cell.tick({"clk": 1, "n0": 1})
+        assert cell.state == 0
+        # Exactly three: born.
+        cell.tick({"clk": 1, "n0": 1, "n1": 1, "n2": 1})
+        assert cell.state == 1
+        # Four: overcrowded.
+        cell.tick({"clk": 1, "n0": 1, "n1": 1, "n2": 1, "n3": 1})
+        assert cell.state == 0
+
+    def test_life_cell_holds_without_clock(self):
+        cell = LifeCell()
+        cell.tick({"load": 1, "data": 1})
+        cell.tick({})  # no clk, no load
+        assert cell.state == 1
+
+    def test_unknown_template(self):
+        from repro.core.netlist import Module
+        from repro.sim.behaviors import behavior_for
+
+        with pytest.raises(KeyError):
+            behavior_for(Module("m", 2, 2, template="mystery"))

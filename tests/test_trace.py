@@ -1,0 +1,83 @@
+"""Tests for simulator signal tracing (waveforms, VCD)."""
+
+from repro.core.netlist import Network, TermType
+from repro.sim.behaviors import default_behaviors
+from repro.sim.logic import LogicSimulator
+from repro.sim.trace import Trace, record, render_waveforms, write_vcd, _vcd_code
+from repro.workloads.stdlib import instantiate
+
+
+def _toggler() -> LogicSimulator:
+    """An inverter feeding a flip-flop feeding itself: q toggles."""
+    net = Network()
+    net.add_module(instantiate("inv", "i"))
+    net.add_module(instantiate("dff", "ff"))
+    net.add_system_terminal("q", TermType.OUT)
+    net.connect("n_fb", "ff.q", "i.a", "q")
+    net.connect("n_d", "i.y", "ff.d")
+    return LogicSimulator(net, default_behaviors(net))
+
+
+class TestRecord:
+    def test_toggles_recorded(self):
+        trace = record(_toggler(), 6)
+        assert trace.cycles == 6
+        assert trace.signals["n_fb"] == [0, 1, 0, 1, 0, 1]
+        assert trace.signals["n_d"] == [1, 0, 1, 0, 1, 0]
+
+    def test_watch_subset(self):
+        trace = record(_toggler(), 3, nets=["n_fb"])
+        assert set(trace.signals) == {"n_fb"}
+
+    def test_changes(self):
+        trace = record(_toggler(), 4)
+        assert trace.changes("n_fb") == [(0, 0), (1, 1), (2, 0), (3, 1)]
+        assert trace.changes("missing") == []
+
+    def test_inputs_applied(self):
+        net = Network()
+        net.add_module(instantiate("buf", "u"))
+        net.add_module(instantiate("buf", "v"))
+        net.add_system_terminal("a", TermType.IN)
+        net.connect("n_in", "a", "u.a")
+        net.connect("n_out", "u.y", "v.a")
+        sim = LogicSimulator(net, default_behaviors(net))
+        trace = record(sim, 2, inputs={"a": 1})
+        assert trace.signals["n_out"] == [1, 1]
+
+
+class TestRender:
+    def test_waveform_glyphs(self):
+        trace = record(_toggler(), 4)
+        art = render_waveforms(trace, nets=["n_fb"])
+        assert art == "n_fb ▁▔▁▔"
+
+    def test_empty(self):
+        assert render_waveforms(Trace()) == "(no signals)"
+
+    def test_alignment(self):
+        trace = record(_toggler(), 2)
+        lines = render_waveforms(trace).splitlines()
+        waves = {line.rindex(" ") for line in lines}
+        assert len(waves) == 1  # columns line up
+
+
+class TestVcd:
+    def test_file_structure(self, tmp_path):
+        trace = record(_toggler(), 5)
+        out = write_vcd(trace, tmp_path / "t.vcd")
+        text = out.read_text()
+        assert "$enddefinitions" in text
+        assert "$var wire 1" in text
+        assert "$dumpvars" in text
+        assert "#1" in text  # at least one change timestamp
+
+    def test_change_compression(self, tmp_path):
+        trace = Trace(signals={"s": [1, 1, 1, 0, 0]})
+        text = write_vcd(trace, tmp_path / "t.vcd").read_text()
+        # Only the initial dump and the single change at cycle 3 appear.
+        assert text.count("\n1!") + text.count("\n0!") <= 2
+
+    def test_code_generator_unique(self):
+        codes = {_vcd_code(i) for i in range(500)}
+        assert len(codes) == 500

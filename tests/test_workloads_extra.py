@@ -1,0 +1,76 @@
+"""Tests for the datapath scaling workload and the HTML report."""
+
+import pytest
+
+from repro.core.generator import generate
+from repro.place.pablo import PabloOptions
+from repro.render.report import Report
+from repro.route.eureka import route_diagram
+from repro.workloads.datapath import datapath_network, datapath_sizes
+
+
+class TestDatapath:
+    def test_counts_scale(self):
+        small = datapath_network(lanes=1, stages=2)
+        big = datapath_network(lanes=3, stages=6)
+        assert len(big.modules) > len(small.modules)
+        assert len(big.nets) > len(small.nets)
+
+    def test_structure(self):
+        net = datapath_network(lanes=2, stages=3)
+        # lanes*stages registers + lanes*(stages-1) muxes + controller
+        assert len(net.modules) == 2 * 3 + 2 * 2 + 1
+        assert "ctl" in net.modules
+        net.validate()
+
+    def test_pipeline_chain_exists(self):
+        net = datapath_network(lanes=1, stages=4)
+        assert net.connected("r0_0", "m0_0", "q0_0")
+        assert net.connected("m0_0", "r0_1", "d0_0")
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            datapath_network(lanes=0, stages=3)
+        with pytest.raises(ValueError):
+            datapath_network(lanes=1, stages=1)
+
+    def test_many_lanes_validates(self):
+        datapath_network(lanes=12, stages=2).validate()
+
+    def test_standard_sweep(self):
+        nets = datapath_sizes()
+        sizes = [len(n.modules) for n in nets]
+        assert sizes == sorted(sizes)
+
+    def test_small_datapath_generates(self):
+        result = generate(
+            datapath_network(lanes=1, stages=3),
+            PabloOptions(partition_size=5, box_size=4),
+        )
+        assert result.metrics.nets_failed == 0
+
+
+class TestReport:
+    def test_html_structure(self, two_buffer_diagram, tmp_path):
+        route_diagram(two_buffer_diagram)
+        report = Report("Demo report")
+        report.add("The pair", two_buffer_diagram, note="two buffers & <wires>")
+        html_text = report.to_html()
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "Demo report" in html_text
+        assert "<svg" in html_text
+        assert "two buffers &amp; &lt;wires&gt;" in html_text  # escaped note
+        assert "crossovers" in html_text  # the metrics table
+
+    def test_save(self, two_buffer_diagram, tmp_path):
+        report = Report("r")
+        report.add("s", two_buffer_diagram)
+        out = report.save(tmp_path / "sub" / "report.html")
+        assert out.exists()
+        assert out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_multiple_sections(self, two_buffer_diagram):
+        report = Report("multi")
+        report.add("a", two_buffer_diagram)
+        report.add("b", two_buffer_diagram)
+        assert report.to_html().count("<section>") == 2
