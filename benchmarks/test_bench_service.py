@@ -1,0 +1,93 @@
+"""Batch service throughput: cold vs warm cache across worker counts.
+
+The service acceptance numbers: a warm second pass over the same batch
+must be ≥90% cache hits and measurably faster than the cold pass, and
+diagrams must not depend on the worker count.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import once, print_table
+
+from repro.service import BatchScheduler, JobSpec, ResultCache
+from repro.workloads import batch_networks
+
+BATCH = 12
+MODULES = 7
+
+
+def _specs() -> list[JobSpec]:
+    nets = batch_networks(kind="random", count=BATCH, modules=MODULES, seed=500)
+    return [JobSpec.from_network(n) for n in nets]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_cold_batch(benchmark, experiment_store, tmp_path, workers):
+    specs = _specs()
+
+    def cold():
+        sched = BatchScheduler(max_workers=workers, cache=ResultCache(tmp_path / "c"))
+        started = time.perf_counter()
+        outcomes = sched.run(specs)
+        return outcomes, time.perf_counter() - started
+
+    outcomes, wall = once(benchmark, cold)
+    assert all(o.ok for o in outcomes)
+    experiment_store[f"service_cold_w{workers}"] = {
+        "workers": workers,
+        "mode": "cold",
+        "jobs": len(outcomes),
+        "wall_s": round(wall, 3),
+        "jobs_per_s": round(len(outcomes) / wall, 2),
+        "hit_rate": 0.0,
+    }
+    experiment_store.setdefault("service_escher", {})[workers] = [
+        o.payload["escher"] for o in outcomes
+    ]
+
+
+def test_bench_warm_cache(benchmark, experiment_store, tmp_path):
+    specs = _specs()
+    cache = ResultCache(tmp_path / "warm")
+    cold_sched = BatchScheduler(max_workers=4, cache=cache)
+    started = time.perf_counter()
+    cold_sched.run(specs)
+    cold_wall = time.perf_counter() - started
+
+    def warm():
+        sched = BatchScheduler(max_workers=4, cache=cache)
+        started = time.perf_counter()
+        outcomes = sched.run(specs)
+        return outcomes, time.perf_counter() - started
+
+    outcomes, warm_wall = once(benchmark, warm)
+    hits = sum(o.from_cache for o in outcomes)
+    hit_rate = hits / len(outcomes)
+    assert hit_rate >= 0.9, f"warm pass only {hits}/{len(outcomes)} cache hits"
+    assert warm_wall < cold_wall, "warm cache failed to beat the cold pass"
+    experiment_store["service_warm_w4"] = {
+        "workers": 4,
+        "mode": "warm",
+        "jobs": len(outcomes),
+        "wall_s": round(warm_wall, 3),
+        "jobs_per_s": round(len(outcomes) / warm_wall, 2),
+        "hit_rate": round(hit_rate, 3),
+    }
+
+
+def test_bench_service_summary(experiment_store):
+    """Print the aggregate service table; check worker-count invariance."""
+    escher = experiment_store.get("service_escher", {})
+    baseline = escher.get(1)
+    for workers, texts in escher.items():
+        assert texts == baseline, f"workers={workers} changed the diagrams"
+    rows = [
+        experiment_store[key]
+        for key in sorted(experiment_store)
+        if key.startswith("service_cold") or key.startswith("service_warm")
+    ]
+    print_table("batch service throughput (cold vs warm cache)", rows)

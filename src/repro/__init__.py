@@ -32,6 +32,7 @@ from .core import (
 )
 from .core.generator import GenerationResult, generate, route_placed
 from .editor import Editor, EditorError
+from .service import BatchScheduler, JobOutcome, JobSpec, ResultCache
 from .place import PabloOptions, PlacementReport, place_network
 from .route import CostOrder, RouterOptions, RoutingReport, route_diagram
 from .workloads import (
@@ -67,6 +68,10 @@ __all__ = [
     "route_placed",
     "Editor",
     "EditorError",
+    "BatchScheduler",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
     "PabloOptions",
     "PlacementReport",
     "place_network",

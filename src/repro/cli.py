@@ -1,23 +1,36 @@
-"""Command-line front ends: ``pablo``, ``eureka``, ``quinto``, ``artwork``.
+"""Command-line front ends: ``pablo``, ``eureka``, ``quinto``, ``artwork``
+and the batch service driver ``artwork-batch``.
 
-These mirror the paper's programs (Appendices B, E and F):
+The first four mirror the paper's programs (Appendices B, E and F):
 
 * ``pablo``   — place a network described by net-list/call/io files,
 * ``eureka``  — route a placed diagram (ESCHER file) against a net-list,
 * ``quinto``  — add a module description to a library directory,
 * ``artwork`` — the whole pipeline: network files in, SVG/ESCHER out.
+
+``artwork-batch`` runs the pipeline as a service over a JSON manifest of
+many networks (file triples and/or a generated workload), fanning jobs
+across a process pool with a content-addressed result cache, and emits
+per-job SVG/ESCHER outputs plus an aggregate Table-6.1-style report.
+
+All commands exit 0 on success, 1 when some nets stayed unroutable (or a
+batch job failed), and 2 on load/validation errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
+import os
 import sys
 from pathlib import Path
 
+from . import __version__
+from .core.diagram import DiagramError
 from .core.generator import generate
 from .core.metrics import diagram_metrics
-from .core.netlist import Network
+from .core.netlist import NetlistError, Network
 from .formats.escher import load_escher, save_escher
 from .formats.library import ModuleLibrary
 from .formats.module_desc import parse_module_description, write_module_description
@@ -27,6 +40,22 @@ from .place.pablo import PabloOptions, place_network
 from .render.svg import save_svg
 from .route.eureka import RouterOptions, route_diagram
 from .route.line_expansion import CostOrder
+from .service import BatchScheduler, JobError, JobSpec, ResultCache
+from .workloads.batch import workload_from_dict
+
+#: Exit code for load/validation problems (vs. 1 = unroutable/failed jobs).
+EXIT_USAGE = 2
+
+#: Exceptions that mean "your input is bad", not "the program is broken".
+_INPUT_ERRORS = (NetlistError, DiagramError, JobError, OSError, ValueError, KeyError)
+
+
+class _CliError(Exception):
+    """Input problem already formatted for the user."""
+
+
+def _fail(message: str) -> "_CliError":
+    return _CliError(message)
 
 
 def _library(path: str | None) -> ModuleLibrary:
@@ -36,9 +65,12 @@ def _library(path: str | None) -> ModuleLibrary:
 
 
 def _load_network(args: argparse.Namespace) -> Network:
-    return load_network_files(
-        args.netlist, args.call, args.io, library=_library(args.library)
-    )
+    try:
+        return load_network_files(
+            args.netlist, args.call, args.io, library=_library(args.library)
+        )
+    except _INPUT_ERRORS as exc:
+        raise _fail(f"cannot load network: {exc}") from exc
 
 
 def _network_args(parser: argparse.ArgumentParser) -> None:
@@ -46,6 +78,21 @@ def _network_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("call", help="call-file (instances and templates)")
     parser.add_argument("io", nargs="?", default=None, help="io-file (system terminals)")
     parser.add_argument("--library", help="module library directory (default: built-in)")
+
+
+def _version_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+
+
+def _run_guarded(main, argv) -> int:
+    """Run a command body, mapping input errors to exit code 2."""
+    try:
+        return main(argv)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 def _pablo_args(parser: argparse.ArgumentParser) -> None:
@@ -117,7 +164,12 @@ def _report(diagram) -> None:
 
 def pablo_main(argv: list[str] | None = None) -> int:
     """Place a network and write the placed diagram as an ESCHER file."""
+    return _run_guarded(_pablo_body, argv)
+
+
+def _pablo_body(argv: list[str] | None) -> int:
     parser = argparse.ArgumentParser(prog="pablo", description=pablo_main.__doc__)
+    _version_arg(parser)
     _network_args(parser)
     _pablo_args(parser)
     parser.add_argument("-o", "--output", default="placed.es", help="output ESCHER file")
@@ -135,14 +187,22 @@ def pablo_main(argv: list[str] | None = None) -> int:
 
 def eureka_main(argv: list[str] | None = None) -> int:
     """Route the unrouted nets of a placed ESCHER diagram."""
+    return _run_guarded(_eureka_body, argv)
+
+
+def _eureka_body(argv: list[str] | None) -> int:
     parser = argparse.ArgumentParser(prog="eureka", description=eureka_main.__doc__)
+    _version_arg(parser)
     parser.add_argument("graphic", help="placed diagram (ESCHER file)")
     _network_args(parser)
     _eureka_args(parser)
     parser.add_argument("-o", "--output", default="routed.es", help="output ESCHER file")
     args = parser.parse_args(argv)
     network = _load_network(args)
-    diagram = load_escher(args.graphic, network)
+    try:
+        diagram = load_escher(args.graphic, network)
+    except _INPUT_ERRORS as exc:
+        raise _fail(f"cannot load diagram {args.graphic!r}: {exc}") from exc
     report = route_diagram(diagram, _eureka_options(args))
     for name in report.failed_nets:
         print(f"warning: net {name!r} is unroutable", file=sys.stderr)
@@ -153,11 +213,19 @@ def eureka_main(argv: list[str] | None = None) -> int:
 
 def quinto_main(argv: list[str] | None = None) -> int:
     """Add a module description (Appendix B) to a library directory."""
+    return _run_guarded(_quinto_body, argv)
+
+
+def _quinto_body(argv: list[str] | None) -> int:
     parser = argparse.ArgumentParser(prog="quinto", description=quinto_main.__doc__)
+    _version_arg(parser)
     parser.add_argument("file", help="module description file")
     parser.add_argument("--library", default="user_lib", help="library directory")
     args = parser.parse_args(argv)
-    module = parse_module_description(Path(args.file).read_text())
+    try:
+        module = parse_module_description(Path(args.file).read_text())
+    except _INPUT_ERRORS as exc:
+        raise _fail(f"cannot load module description {args.file!r}: {exc}") from exc
     directory = Path(args.library)
     directory.mkdir(parents=True, exist_ok=True)
     out = directory / f"{module.template}{ModuleLibrary.SUFFIX}"
@@ -168,7 +236,12 @@ def quinto_main(argv: list[str] | None = None) -> int:
 
 def artwork_main(argv: list[str] | None = None) -> int:
     """The full generator: network files in, routed SVG + ESCHER out."""
+    return _run_guarded(_artwork_body, argv)
+
+
+def _artwork_body(argv: list[str] | None) -> int:
     parser = argparse.ArgumentParser(prog="artwork", description=artwork_main.__doc__)
+    _version_arg(parser)
     _network_args(parser)
     _pablo_args(parser)
     _eureka_args(parser, short_swap=False)
@@ -183,6 +256,211 @@ def artwork_main(argv: list[str] | None = None) -> int:
     _report(result.diagram)
     print(f"wrote {args.output}")
     return 0 if not result.routing.failed_nets else 1
+
+
+# -- artwork-batch: the job service front end -----------------------------
+
+
+def _manifest_specs(manifest: dict, base: Path) -> list[JobSpec]:
+    """Turn a manifest into job specs (file jobs + generated workload)."""
+    if not isinstance(manifest, dict):
+        raise _fail("manifest must be a JSON object")
+    unknown = set(manifest) - {"jobs", "workload", "pablo", "eureka", "library"}
+    if unknown:
+        raise _fail(f"unknown manifest key(s): {sorted(unknown)}")
+    default_pablo = manifest.get("pablo", {})
+    default_eureka = manifest.get("eureka", {})
+    specs: list[JobSpec] = []
+
+    from .service.jobs import pablo_from_dict, router_from_dict
+
+    def options_for(job: dict) -> tuple[PabloOptions, RouterOptions]:
+        return (
+            pablo_from_dict({**default_pablo, **job.get("pablo", {})}),
+            router_from_dict({**default_eureka, **job.get("eureka", {})}),
+        )
+
+    for i, job in enumerate(manifest.get("jobs", [])):
+        if not isinstance(job, dict) or "netlist" not in job or "call" not in job:
+            raise _fail(f"job #{i} needs at least 'netlist' and 'call' paths")
+        library = job.get("library", manifest.get("library"))
+        try:
+            network = load_network_files(
+                base / job["netlist"],
+                base / job["call"],
+                base / job["io"] if job.get("io") else None,
+                library=_library(str(base / library) if library else None),
+            )
+        except _INPUT_ERRORS as exc:
+            raise _fail(f"job #{i}: cannot load network: {exc}") from exc
+        pablo, eureka = options_for(job)
+        specs.append(
+            JobSpec.from_network(network, pablo, eureka, name=job.get("name"))
+        )
+
+    if "workload" in manifest:
+        workload = dict(manifest["workload"])
+        pablo, eureka = options_for(workload.pop("options", {}))
+        try:
+            networks = workload_from_dict(workload)
+        except _INPUT_ERRORS as exc:
+            raise _fail(f"bad workload spec: {exc}") from exc
+        specs.extend(JobSpec.from_network(n, pablo, eureka) for n in networks)
+
+    if not specs:
+        raise _fail("manifest describes no jobs (need 'jobs' and/or 'workload')")
+    return _uniquify(specs)
+
+
+def _uniquify(specs: list[JobSpec]) -> list[JobSpec]:
+    """Give duplicate job names distinct output file stems."""
+    seen: dict[str, int] = {}
+    out = []
+    for spec in specs:
+        count = seen.get(spec.name, 0)
+        seen[spec.name] = count + 1
+        if count:
+            spec = JobSpec(
+                name=f"{spec.name}_{count}",
+                network_json=spec.network_json,
+                pablo=spec.pablo,
+                eureka=spec.eureka,
+            )
+        out.append(spec)
+    return out
+
+
+def _print_table(title: str, rows: list[dict]) -> None:
+    if not rows:
+        return
+    headers = list(rows[0])
+    widths = {h: max(len(h), *(len(str(r.get(h, ""))) for r in rows)) for h in headers}
+    print(title)
+    print("  " + "  ".join(h.ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  " + "  ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers))
+
+
+def artwork_batch_main(argv: list[str] | None = None) -> int:
+    """Batch generator service: JSON manifest in, per-job SVG/ESCHER plus an
+    aggregate timing report out, with process-pool parallelism and a
+    content-addressed warm cache."""
+    return _run_guarded(_artwork_batch_body, argv)
+
+
+def _artwork_batch_body(argv: list[str] | None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="artwork-batch", description=artwork_batch_main.__doc__
+    )
+    _version_arg(parser)
+    parser.add_argument("manifest", help="JSON manifest (jobs and/or workload)")
+    parser.add_argument("-o", "--out", default="batch_out", help="output directory")
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1, help="process pool size"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock budget (s)"
+    )
+    parser.add_argument(
+        "--cache", default=None, help="result cache directory (default: OUT/cache)"
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable the cache")
+    parser.add_argument(
+        "--max-cache-entries", type=int, default=None, help="LRU bound on the cache"
+    )
+    parser.add_argument("--no-svg", action="store_true", help="skip SVG rendering")
+    parser.add_argument("--report", help="also write the aggregate report as JSON here")
+    parser.add_argument("-q", "--quiet", action="store_true", help="no per-job progress")
+    args = parser.parse_args(argv)
+
+    manifest_path = Path(args.manifest)
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise _fail(f"cannot read manifest: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise _fail(f"manifest is not valid JSON: {exc}") from exc
+    specs = _manifest_specs(manifest, manifest_path.parent)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            args.cache or out_dir / "cache", max_entries=args.max_cache_entries
+        )
+    if args.workers < 1:
+        raise _fail("--workers must be at least 1")
+
+    def progress(outcome, done, total):
+        if args.quiet:
+            return
+        seconds = outcome.payload.get("seconds", 0.0) if outcome.payload else 0.0
+        source = "cache" if outcome.from_cache else "fresh"
+        print(
+            f"[{done}/{total}] {outcome.spec.name}: {outcome.status} "
+            f"({seconds:.3f}s, {source})"
+        )
+
+    import time as _time
+
+    scheduler = BatchScheduler(
+        max_workers=args.workers, timeout=args.timeout, cache=cache
+    )
+    started = _time.perf_counter()
+    outcomes = scheduler.run(specs, progress=progress)
+    wall = _time.perf_counter() - started
+
+    rows = []
+    bad = 0
+    for outcome in outcomes:
+        if outcome.ok:
+            (out_dir / f"{outcome.spec.name}.es").write_text(
+                outcome.payload["escher"]
+            )
+            if not args.no_svg:
+                save_svg(outcome.load_diagram(), out_dir / f"{outcome.spec.name}.svg")
+        timing = outcome.timing
+        metrics = outcome.metrics
+        rows.append(
+            {
+                "job": outcome.spec.name,
+                "status": outcome.status,
+                "modules": timing.get("modules", ""),
+                "nets": metrics.get("nets", ""),
+                "routed": metrics.get("routed", ""),
+                "placement_s": timing.get("placement_seconds", ""),
+                "routing_s": timing.get("routing_seconds", ""),
+                "total_s": timing.get("total_seconds", ""),
+                "cache": "hit" if outcome.from_cache else "miss",
+            }
+        )
+        if not outcome.ok or outcome.failed_nets:
+            bad += 1
+
+    _print_table(f"batch report ({len(outcomes)} jobs)", rows)
+    summary = {
+        "jobs": len(outcomes),
+        "ok": sum(o.ok for o in outcomes),
+        "failed": bad,
+        "wall_seconds": round(wall, 3),
+        "jobs_per_second": round(len(outcomes) / wall, 2) if wall else 0.0,
+        "workers": args.workers,
+    }
+    if cache is not None:
+        summary["cache"] = cache.stats.as_row()
+        hits, total = cache.stats.hits, len(outcomes)
+        print(
+            f"cache: {hits}/{total} hits "
+            f"({100.0 * hits / total if total else 0.0:.0f}%)"
+        )
+    print(
+        f"{summary['ok']}/{summary['jobs']} jobs ok in {summary['wall_seconds']}s "
+        f"({summary['jobs_per_second']} jobs/s, {args.workers} workers) -> {out_dir}"
+    )
+    if args.report:
+        Path(args.report).write_text(json.dumps({"jobs": rows, "summary": summary}, indent=1))
+    return 0 if bad == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,7 @@ class GenerationResult:
             "nets": self.metrics.nets_total,
             "placement_seconds": round(self.placement.seconds, 3),
             "routing_seconds": round(self.routing.seconds, 3),
+            "total_seconds": round(self.placement.seconds + self.routing.seconds, 3),
         }
 
 

@@ -140,7 +140,7 @@ def read_escher(text: str, network: Network) -> Diagram:
         key, _, rest = line.partition(":")
         rest = rest.strip()
         if key == "subsys":
-            pending_subsys = [int(f) for f in rest.split()]
+            pending_subsys = _int_fields(line, rest, minimum=12)
             instname = None
         elif key == "instname":
             instname = rest
@@ -151,11 +151,24 @@ def read_escher(text: str, network: Network) -> Diagram:
             diagram.place_module(instname, Point(x1, y1), rotation)
             pending_subsys = None
         elif key == "node":
-            pending_node = [int(f) for f in rest.split()]
+            pending_node = _int_fields(line, rest, minimum=24)
         elif key == "oname" and pending_node is not None:
             _apply_node(diagram, pending_node, rest)
             pending_node = None
     return diagram
+
+
+def _int_fields(line: str, rest: str, *, minimum: int) -> list[int]:
+    """Parse a record's integer fields; corrupt records raise
+    :class:`DiagramError` so callers (e.g. the result cache) can treat a
+    damaged file uniformly instead of seeing bare ``ValueError``s."""
+    try:
+        fields = [int(f) for f in rest.split()]
+    except ValueError:
+        raise DiagramError(f"corrupt ESCHER record: {line!r}") from None
+    if len(fields) < minimum:
+        raise DiagramError(f"truncated ESCHER record: {line!r}")
+    return fields
 
 
 def _apply_node(diagram: Diagram, fields: list[int], oname: str) -> None:

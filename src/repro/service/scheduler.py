@@ -1,0 +1,264 @@
+"""Batch scheduler: fan jobs across a process-pool worker fleet.
+
+The unit of work is :func:`execute_job` — a module-level (hence picklable)
+function that rebuilds the canonical network from a :class:`JobSpec`
+payload, runs the full PABLO→EUREKA pipeline and returns a plain-dict
+result (ESCHER text + metrics + timing), which is also exactly what the
+:class:`~repro.service.cache.ResultCache` persists.
+
+The scheduler guarantees:
+
+* **deterministic ordering** — outcomes come back in submission order
+  whatever the completion order or worker count;
+* **per-job timeouts** — enforced *inside* the worker with ``SIGALRM``,
+  so a slow job dies cleanly without poisoning the pool;
+* **retry-once on worker crash** — a job whose process died (segfault,
+  ``os._exit``, OOM kill) is resubmitted once on a fresh pool, because a
+  crash may be collateral damage from a sibling breaking the pool;
+* **progress streaming** — an optional callback fires as each job reaches
+  its final outcome.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Sequence
+
+from ..core.diagram import Diagram
+from ..core.generator import generate
+from ..formats.escher import read_escher, write_escher
+from .cache import ResultCache
+from .jobs import JobSpec
+
+#: Final states a job can end in.  "ok" includes runs with unroutable
+#: nets (they are reported, not fatal); only "ok" results are cached.
+JOB_STATUSES = ("ok", "error", "timeout", "crashed")
+
+ProgressCallback = Callable[["JobOutcome", int, int], None]
+
+
+class JobTimeout(BaseException):
+    """Raised by the alarm handler inside a worker.
+
+    Derives from ``BaseException`` so the pipeline's own ``except
+    Exception`` error reporting cannot swallow it.
+    """
+
+
+@dataclass
+class JobOutcome:
+    """Final result of one scheduled job."""
+
+    spec: JobSpec
+    status: str
+    payload: dict | None = None
+    from_cache: bool = False
+    attempts: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def timing(self) -> dict:
+        return dict(self.payload.get("timing", {})) if self.payload else {}
+
+    @property
+    def metrics(self) -> dict:
+        return dict(self.payload.get("metrics", {})) if self.payload else {}
+
+    @property
+    def failed_nets(self) -> list[str]:
+        return list(self.payload.get("failed_nets", [])) if self.payload else []
+
+    def load_diagram(self) -> Diagram:
+        """Rebuild the routed diagram from the ESCHER text in the payload."""
+        if not self.payload or "escher" not in self.payload:
+            raise ValueError(f"job {self.spec.name!r} has no diagram ({self.status})")
+        return read_escher(self.payload["escher"], self.spec.build_network())
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one job (a ``JobSpec.to_dict()`` payload) through the pipeline.
+
+    Returns a JSON-able dict; never raises for pipeline errors (they come
+    back as ``status: "error"``) so a pool worker survives bad inputs.
+    """
+    started = time.perf_counter()
+    try:
+        spec = JobSpec.from_dict(payload)
+        result = generate(spec.build_network(), spec.pablo, spec.eureka)
+        return {
+            "status": "ok",
+            "name": spec.name,
+            "escher": write_escher(result.diagram),
+            "metrics": dict(result.metrics.as_row()),
+            "timing": dict(result.timing_row),
+            "failed_nets": list(result.routing.failed_nets),
+            "seconds": round(time.perf_counter() - started, 4),
+        }
+    except Exception as exc:  # noqa: BLE001 — worker must not die on bad jobs
+        return {
+            "status": "error",
+            "name": payload.get("name", "?"),
+            "error": f"{type(exc).__name__}: {exc}",
+            "metrics": {},
+            "timing": {},
+            "seconds": round(time.perf_counter() - started, 4),
+        }
+
+
+def _alarm(_signum, _frame):  # pragma: no cover - fires inside workers
+    raise JobTimeout()
+
+
+def run_with_timeout(worker, timeout: float | None, payload: dict) -> dict:
+    """Top-level worker wrapper enforcing a wall-clock budget via SIGALRM."""
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return worker(payload)
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return worker(payload)
+    except JobTimeout:
+        return {
+            "status": "timeout",
+            "name": payload.get("name", "?"),
+            "error": f"exceeded {timeout:g}s budget",
+            "metrics": {},
+            "timing": {},
+            "seconds": timeout,
+        }
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class BatchScheduler:
+    """Fan a batch of :class:`JobSpec` s over a process pool.
+
+    ``worker`` must be a picklable module-level callable taking the job
+    payload dict and returning a result dict — :func:`execute_job` unless
+    a test (or an alternative pipeline) substitutes its own.
+    """
+
+    max_workers: int = field(default_factory=lambda: os.cpu_count() or 1)
+    timeout: float | None = None
+    cache: ResultCache | None = None
+    retry_crashed: bool = True
+    worker: Callable[[dict], dict] = execute_job
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        progress: ProgressCallback | None = None,
+    ) -> list[JobOutcome]:
+        """Execute every spec; outcomes are returned in submission order."""
+        specs = list(specs)
+        outcomes: list[JobOutcome | None] = [None] * len(specs)
+        done = 0
+
+        def finish(index: int, outcome: JobOutcome) -> None:
+            nonlocal done
+            outcomes[index] = outcome
+            done += 1
+            if (
+                self.cache is not None
+                and outcome.ok
+                and not outcome.from_cache
+            ):
+                self.cache.put(specs[index], outcome.payload)
+            if progress is not None:
+                progress(outcome, done, len(specs))
+
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            payload = self.cache.get(spec) if self.cache is not None else None
+            if payload is not None:
+                finish(i, JobOutcome(spec, payload["status"], payload, from_cache=True))
+            else:
+                pending.append(i)
+
+        attempt = 0
+        while pending:
+            attempt += 1
+            crashed = self._run_round(specs, pending, attempt, finish)
+            if not crashed or not self.retry_crashed or attempt >= 2:
+                for i in crashed:
+                    finish(
+                        i,
+                        JobOutcome(
+                            specs[i],
+                            "crashed",
+                            attempts=attempt,
+                            error="worker process died",
+                        ),
+                    )
+                break
+            pending = crashed  # one fresh-pool retry round
+
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_round(
+        self,
+        specs: Sequence[JobSpec],
+        indices: list[int],
+        attempt: int,
+        finish: Callable[[int, JobOutcome], None],
+    ) -> list[int]:
+        """Run one pool round; returns indices whose worker crashed."""
+        crashed: list[int] = []
+        workers = min(self.max_workers, len(indices))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict[Future, int] = {
+                pool.submit(
+                    run_with_timeout, self.worker, self.timeout, specs[i].to_dict()
+                ): i
+                for i in indices
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    i = futures[future]
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(i)
+                        continue
+                    except Exception as exc:  # pool plumbing failure
+                        finish(
+                            i,
+                            JobOutcome(
+                                specs[i],
+                                "error",
+                                attempts=attempt,
+                                error=f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+                        continue
+                    finish(
+                        i,
+                        JobOutcome(
+                            specs[i],
+                            payload.get("status", "error"),
+                            payload,
+                            attempts=attempt,
+                            error=payload.get("error"),
+                        ),
+                    )
+        crashed.sort()
+        return crashed

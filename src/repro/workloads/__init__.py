@@ -9,6 +9,7 @@ from .life import (
     reference_life_step,
 )
 from .random_nets import RandomNetworkSpec, random_network
+from .batch import BatchWorkloadSpec, batch_networks, workload_from_dict
 from .congestion import facing_pairs_diagram
 from .datapath import datapath_network, datapath_sizes
 from .stdlib import TEMPLATES, instantiate, make_module
@@ -23,6 +24,9 @@ __all__ = [
     "reference_life_step",
     "RandomNetworkSpec",
     "random_network",
+    "BatchWorkloadSpec",
+    "batch_networks",
+    "workload_from_dict",
     "facing_pairs_diagram",
     "datapath_network",
     "datapath_sizes",

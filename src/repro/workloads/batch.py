@@ -1,0 +1,76 @@
+"""Batch workload sources for the job service.
+
+A batch workload is simply *many networks*; this module turns a small
+declarative spec (the ``workload`` stanza of an ``artwork-batch``
+manifest) into a list of validated networks.  Three generators:
+
+* ``random``   — seeded :func:`random_network` sweeps (seed, seed+1, …),
+* ``datapath`` — growing ``lanes x stages`` pipelined datapaths,
+* ``examples`` — the paper's two worked examples, cycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.netlist import Network
+from .datapath import datapath_network
+from .examples import example1_string, example2_controller
+from .random_nets import RandomNetworkSpec, random_network
+
+KINDS = ("random", "datapath", "examples")
+
+
+@dataclass(frozen=True)
+class BatchWorkloadSpec:
+    """Shape of a generated batch of networks."""
+
+    kind: str = "random"
+    count: int = 20
+    seed: int = 0
+    #: ``random`` only: modules per network and extra-net knobs.
+    modules: int = 8
+    extra_nets: int = 3
+    system_terminals: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown workload kind {self.kind!r} (know {KINDS})")
+        if self.count < 1:
+            raise ValueError("workload count must be at least 1")
+
+
+def batch_networks(spec: BatchWorkloadSpec | None = None, **overrides) -> list[Network]:
+    """Generate the networks a workload spec describes."""
+    spec = spec or BatchWorkloadSpec()
+    if overrides:
+        spec = BatchWorkloadSpec(**{**spec.__dict__, **overrides})
+    if spec.kind == "random":
+        return [
+            random_network(
+                RandomNetworkSpec(
+                    modules=spec.modules,
+                    extra_nets=spec.extra_nets,
+                    system_terminals=spec.system_terminals,
+                    seed=spec.seed + i,
+                )
+            )
+            for i in range(spec.count)
+        ]
+    if spec.kind == "datapath":
+        # Sweep lanes 1..3 and grow stages every full lane cycle.
+        return [
+            datapath_network(lanes=1 + i % 3, stages=2 + i // 3)
+            for i in range(spec.count)
+        ]
+    makers = (example1_string, example2_controller)
+    return [makers[i % len(makers)]() for i in range(spec.count)]
+
+
+def workload_from_dict(data: dict) -> list[Network]:
+    """Build a batch from a manifest's ``workload`` stanza."""
+    known = set(BatchWorkloadSpec.__dataclass_fields__)
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown workload key(s): {sorted(unknown)}")
+    return batch_networks(BatchWorkloadSpec(**data))

@@ -73,6 +73,38 @@ class TestQuinto:
         assert "latch" in lib
 
 
+class TestErrorHandling:
+    """Load/validation problems exit 2 with a message, not a traceback."""
+
+    def test_missing_network_files_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.net")
+        for main in (pablo_main, artwork_main):
+            rc = main([missing, missing])
+            assert rc == 2
+            assert "error:" in capsys.readouterr().err
+
+    def test_eureka_bad_escher_exit_2(self, tmp_path, network_files, capsys):
+        bad = tmp_path / "bad.es"
+        bad.write_text("this is not an escher file")
+        rc = eureka_main([str(bad)] + _net_args(network_files))
+        assert rc == 2
+        assert "magic" in capsys.readouterr().err
+
+    def test_quinto_missing_description_exit_2(self, tmp_path, capsys):
+        rc = quinto_main([str(tmp_path / "absent.desc")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_version_flag_on_every_command(self, capsys):
+        from repro import __version__
+
+        for main in (pablo_main, eureka_main, quinto_main, artwork_main):
+            with pytest.raises(SystemExit) as exc:
+                main(["--version"])
+            assert exc.value.code == 0
+            assert __version__ in capsys.readouterr().out
+
+
 class TestArtwork:
     def test_full_pipeline(self, tmp_path, network_files, capsys):
         svg = tmp_path / "fig.svg"
