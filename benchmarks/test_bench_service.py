@@ -7,7 +7,9 @@ diagrams must not depend on the worker count.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -79,8 +81,13 @@ def test_bench_warm_cache(benchmark, experiment_store, tmp_path):
     }
 
 
+#: Machine-readable perf trajectory, tracked across PRs at the repo root.
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
 def test_bench_service_summary(experiment_store):
-    """Print the aggregate service table; check worker-count invariance."""
+    """Print the aggregate service table; check worker-count invariance;
+    persist the numbers as ``BENCH_service.json`` for cross-PR tracking."""
     escher = experiment_store.get("service_escher", {})
     baseline = escher.get(1)
     for workers, texts in escher.items():
@@ -91,3 +98,15 @@ def test_bench_service_summary(experiment_store):
         if key.startswith("service_cold") or key.startswith("service_warm")
     ]
     print_table("batch service throughput (cold vs warm cache)", rows)
+    if rows:
+        BENCH_FILE.write_text(
+            json.dumps(
+                {
+                    "benchmark": "batch service throughput",
+                    "batch_jobs": BATCH,
+                    "modules_per_job": MODULES,
+                    "runs": rows,
+                },
+                indent=1,
+            )
+        )

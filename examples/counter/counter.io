@@ -1,0 +1,4 @@
+clk in
+q0 out
+q1 out
+q2 out

@@ -28,6 +28,12 @@ from pathlib import Path
 
 from . import __version__
 from .core.diagram import DiagramError
+from .obs import (
+    add_log_argument,
+    enable_tracing,
+    get_registry,
+    setup_logging,
+)
 from .core.generator import generate
 from .core.metrics import diagram_metrics
 from .core.netlist import NetlistError, Network
@@ -84,6 +90,46 @@ def _version_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+
+
+# -- observability plumbing (shared by every command) ---------------------
+
+
+def _obs_args(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--profile`` / ``--log-level`` on a pipeline command."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of this run (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the hierarchical time tree and event counters after the run",
+    )
+    add_log_argument(parser)
+
+
+def _obs_begin(args: argparse.Namespace):
+    """Configure logging and, when asked for, turn tracing on."""
+    setup_logging(args.log_level)
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        return enable_tracing()
+    return None
+
+
+def _obs_end(args: argparse.Namespace, tracer) -> None:
+    """Emit whatever observability outputs the flags requested."""
+    if tracer is None:
+        return
+    if args.trace:
+        tracer.write_chrome_trace(args.trace)
+        print(f"trace -> {args.trace} (open in chrome://tracing or Perfetto)")
+    if args.profile:
+        print(tracer.profile_tree())
+        counter_report = get_registry().report()
+        if counter_report:
+            print(counter_report)
 
 
 def _run_guarded(main, argv) -> int:
@@ -172,8 +218,10 @@ def _pablo_body(argv: list[str] | None) -> int:
     _version_arg(parser)
     _network_args(parser)
     _pablo_args(parser)
+    _obs_args(parser)
     parser.add_argument("-o", "--output", default="placed.es", help="output ESCHER file")
     args = parser.parse_args(argv)
+    tracer = _obs_begin(args)
     network = _load_network(args)
     diagram, report = place_network(network, _pablo_options(args))
     save_escher(diagram, args.output)
@@ -182,6 +230,7 @@ def _pablo_body(argv: list[str] | None) -> int:
         f"{report.partition_count} partitions / {report.box_count} boxes "
         f"({report.seconds:.2f}s) -> {args.output}"
     )
+    _obs_end(args, tracer)
     return 0
 
 
@@ -196,18 +245,25 @@ def _eureka_body(argv: list[str] | None) -> int:
     parser.add_argument("graphic", help="placed diagram (ESCHER file)")
     _network_args(parser)
     _eureka_args(parser)
+    _obs_args(parser)
     parser.add_argument("-o", "--output", default="routed.es", help="output ESCHER file")
     args = parser.parse_args(argv)
+    tracer = _obs_begin(args)
     network = _load_network(args)
     try:
         diagram = load_escher(args.graphic, network)
     except _INPUT_ERRORS as exc:
         raise _fail(f"cannot load diagram {args.graphic!r}: {exc}") from exc
     report = route_diagram(diagram, _eureka_options(args))
-    for name in report.failed_nets:
-        print(f"warning: net {name!r} is unroutable", file=sys.stderr)
+    for failure in report.failed_nets:
+        print(
+            f"warning: net {str(failure)!r} is unroutable "
+            f"({failure.reason.value})",
+            file=sys.stderr,
+        )
     save_escher(diagram, args.output)
     _report(diagram)
+    _obs_end(args, tracer)
     return 0 if not report.failed_nets else 1
 
 
@@ -221,7 +277,9 @@ def _quinto_body(argv: list[str] | None) -> int:
     _version_arg(parser)
     parser.add_argument("file", help="module description file")
     parser.add_argument("--library", default="user_lib", help="library directory")
+    add_log_argument(parser)
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
     try:
         module = parse_module_description(Path(args.file).read_text())
     except _INPUT_ERRORS as exc:
@@ -245,16 +303,21 @@ def _artwork_body(argv: list[str] | None) -> int:
     _network_args(parser)
     _pablo_args(parser)
     _eureka_args(parser, short_swap=False)
+    _obs_args(parser)
     parser.add_argument("-o", "--output", default="artwork.svg", help="output SVG")
     parser.add_argument("--escher", help="also write an ESCHER file here")
     args = parser.parse_args(argv)
+    tracer = _obs_begin(args)
     network = _load_network(args)
     result = generate(network, _pablo_options(args), _eureka_options(args))
     save_svg(result.diagram, args.output)
     if args.escher:
         save_escher(result.diagram, args.escher)
     _report(result.diagram)
+    for net, reason in result.routing.failure_reasons.items():
+        print(f"warning: net {net!r} is unroutable ({reason.value})", file=sys.stderr)
     print(f"wrote {args.output}")
+    _obs_end(args, tracer)
     return 0 if not result.routing.failed_nets else 1
 
 
@@ -371,7 +434,9 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
     parser.add_argument("--no-svg", action="store_true", help="skip SVG rendering")
     parser.add_argument("--report", help="also write the aggregate report as JSON here")
     parser.add_argument("-q", "--quiet", action="store_true", help="no per-job progress")
+    _obs_args(parser)
     args = parser.parse_args(argv)
+    tracer = _obs_begin(args)
 
     manifest_path = Path(args.manifest)
     try:
@@ -446,13 +511,15 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
         "wall_seconds": round(wall, 3),
         "jobs_per_second": round(len(outcomes) / wall, 2) if wall else 0.0,
         "workers": args.workers,
+        "counters": scheduler.counters.snapshot()["counters"],
     }
     if cache is not None:
-        summary["cache"] = cache.stats.as_row()
+        summary["cache"] = {**cache.stats.as_row(), "entries": len(cache)}
         hits, total = cache.stats.hits, len(outcomes)
         print(
             f"cache: {hits}/{total} hits "
-            f"({100.0 * hits / total if total else 0.0:.0f}%)"
+            f"({100.0 * hits / total if total else 0.0:.0f}%), "
+            f"{cache.stats.evictions} evictions, {len(cache)} entries"
         )
     print(
         f"{summary['ok']}/{summary['jobs']} jobs ok in {summary['wall_seconds']}s "
@@ -460,6 +527,7 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
     )
     if args.report:
         Path(args.report).write_text(json.dumps({"jobs": rows, "summary": summary}, indent=1))
+    _obs_end(args, tracer)
     return 0 if bad == 0 else 1
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import span
 from ..place.pablo import PabloOptions, PlacementReport, place_network
 from ..route.eureka import RouterOptions, RoutingReport, route_diagram
 from .diagram import Diagram
@@ -45,9 +46,15 @@ def generate(
     preplaced: Diagram | None = None,
 ) -> GenerationResult:
     """Run placement then routing on a network description."""
-    network.validate()
-    diagram, placement_report = place_network(network, pablo, preplaced=preplaced)
-    routing_report = route_diagram(diagram, eureka)
+    with span("artwork.generate", network=network.name) as root:
+        network.validate()
+        diagram, placement_report = place_network(network, pablo, preplaced=preplaced)
+        routing_report = route_diagram(diagram, eureka)
+        root.set(
+            modules=len(network.modules),
+            nets_routed=routing_report.nets_routed,
+            nets_failed=routing_report.nets_failed,
+        )
     return GenerationResult(
         diagram=diagram,
         placement=placement_report,

@@ -1,0 +1,38 @@
+"""``repro.obs`` — the observability layer.
+
+Three small, dependency-free pieces every other subsystem records into:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
+  trace-event export and a plain-text profile tree;
+* :mod:`repro.obs.counters` — process-local counters/histograms with
+  cross-process snapshot merging;
+* :mod:`repro.obs.logging` — structured ``repro.*`` logger setup.
+"""
+
+from .counters import Registry, get_registry, inc, observe, set_registry
+from .logging import add_log_argument, get_logger, setup_logging
+from .trace import (
+    Span,
+    Tracer,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Registry",
+    "Span",
+    "Tracer",
+    "add_log_argument",
+    "enable_tracing",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "inc",
+    "observe",
+    "set_registry",
+    "set_tracer",
+    "setup_logging",
+    "span",
+]

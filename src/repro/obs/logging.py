@@ -1,0 +1,94 @@
+"""Structured logging for the ``repro.*`` namespaces.
+
+Every CLI accepts ``--log-level``; :func:`setup_logging` configures the
+``repro`` root logger once with a compact structured line format::
+
+    2026-08-06T12:00:01 INFO  repro.route.eureka  retry pass  nets=3
+
+Libraries get their logger via :func:`get_logger` and attach key=value
+context with ``extra={"fields": {...}}`` (rendered, never interpolated
+into the message, so lines stay grep-able).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+class StructuredFormatter(logging.Formatter):
+    """``time LEVEL logger message key=value ...`` lines."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record, self.default_time_format)} "
+            f"{record.levelname:<7} {record.name}  {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            base += "  " + " ".join(f"{k}={v}" for k, v in fields.items())
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The logger for a subsystem, rooted under ``repro``."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+class _LiveStderrHandler(logging.StreamHandler):
+    """Always writes to the *current* ``sys.stderr`` (which test harnesses
+    and CLI wrappers swap out), never a stream captured at setup time."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, _value) -> None:  # StreamHandler.__init__ assigns it
+        pass
+
+
+def setup_logging(level: str = "warning", *, stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger and return it.
+
+    Safe to call repeatedly (each CLI does): the previous obs handler is
+    replaced, never duplicated.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {LEVELS})")
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level.upper()))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = (
+        logging.StreamHandler(stream) if stream is not None else _LiveStderrHandler()
+    )
+    handler.setFormatter(StructuredFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def add_log_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default="warning",
+        help="logging verbosity for the repro.* namespaces",
+    )

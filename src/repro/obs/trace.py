@@ -1,0 +1,309 @@
+"""Hierarchical span tracing for the generation pipeline.
+
+A :class:`Tracer` records a tree of timed spans::
+
+    with span("pablo.partitioning"):
+        ...
+
+Spans nest per thread (a ``threading.local`` stack), so concurrent
+threads each grow their own subtree under the tracer.  The recorded
+forest exports two ways:
+
+* :meth:`Tracer.chrome_trace` — the Chrome trace-event JSON format, so a
+  run opens directly in ``chrome://tracing`` / Perfetto;
+* :meth:`Tracer.profile_tree` — a plain-text time tree with per-node
+  totals, percentages and call counts (siblings with the same name are
+  aggregated, so 40 ``eureka.net`` spans print as one ×40 line).
+
+Tracing is **off by default** and near-free when off: the module-level
+:func:`span` helper returns a shared no-op context manager without
+touching the tracer at all, so instrumented hot paths pay one attribute
+check per span.
+
+Spans survive process boundaries: :meth:`Span.to_dict` /
+:meth:`Span.from_dict` round-trip a subtree through JSON, and
+:meth:`Tracer.adopt` grafts a serialized subtree (e.g. from a pool
+worker, whose clock is unrelated to ours) into the live trace,
+re-anchored on this tracer's timebase.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+
+@dataclass
+class Span:
+    """One timed region; ``start``/``duration`` are tracer-relative seconds."""
+
+    name: str
+    start: float = 0.0
+    duration: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    tid: int = 0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (shown as ``args`` in Chrome)."""
+        self.attrs.update(attrs)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- serialization (worker -> parent process) ----------------------
+
+    def to_dict(self) -> dict:
+        out: dict[str, Any] = {"name": self.name, "start": round(self.start, 6),
+                               "duration": round(self.duration, 6)}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=str(data.get("name", "?")),
+            start=float(data.get("start", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def shifted(self, offset: float) -> "Span":
+        """A copy of the subtree with every start moved by ``offset``."""
+        return Span(
+            name=self.name,
+            start=self.start + offset,
+            duration=self.duration,
+            attrs=dict(self.attrs),
+            children=[c.shifted(offset) for c in self.children],
+            tid=self.tid,
+        )
+
+
+class _SpanHandle:
+    """Context manager binding one live span to a tracer's thread stack."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span_: Span):
+        self._tracer = tracer
+        self._span = span_
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        self._span.set(**attrs)
+        return self
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._t0 = time.perf_counter()
+        self._span.start = self._t0 - self._tracer.origin
+        return self._span
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self._span.duration = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+
+
+class _NullSpan:
+    """Shared do-nothing span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    def set(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans on a single process-local timebase."""
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self.origin = time.perf_counter()
+        self.roots: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle | _NullSpan:
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanHandle(
+            self,
+            Span(
+                name=name,
+                start=time.perf_counter() - self.origin,
+                attrs=attrs,
+                tid=threading.get_ident(),
+            ),
+        )
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span_: Span) -> None:
+        self._stack().append(span_)
+
+    def _pop(self, span_: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span_:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span_)
+        else:
+            with self._lock:
+                self.roots.append(span_)
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def adopt(self, data: dict | Span, *, label: str | None = None) -> Span:
+        """Graft a serialized subtree (foreign clock) into the live trace.
+
+        The subtree is re-anchored so it *ends* now — the moment the
+        parent learned of it — which keeps the timeline consistent
+        without needing the foreign process's epoch.  Returns the
+        adopted root span.
+        """
+        root = data if isinstance(data, Span) else Span.from_dict(data)
+        now = time.perf_counter() - self.origin
+        # End the subtree "now" — but never start it before our origin
+        # (a job can predate this tracer, e.g. in tests).
+        adopted = root.shifted(max(now - root.end, -root.start))
+        if label is not None:
+            adopted.name = label
+        adopted.tid = threading.get_ident()
+        parent = self.current()
+        if parent is not None:
+            parent.children.append(adopted)
+        else:
+            with self._lock:
+                self.roots.append(adopted)
+        return adopted
+
+    # -- export --------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The run as Chrome trace-event JSON (``chrome://tracing``)."""
+        pid = os.getpid()
+        events = []
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            for s in root.walk():
+                event = {
+                    "name": s.name,
+                    "ph": "X",
+                    "ts": round(s.start * 1e6, 1),
+                    "dur": round(s.duration * 1e6, 1),
+                    "pid": pid,
+                    "tid": s.tid or 0,
+                }
+                if s.attrs:
+                    event["args"] = dict(s.attrs)
+                events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace(), indent=1))
+        return path
+
+    def profile_tree(self) -> str:
+        """Plain-text time tree; same-named siblings are aggregated."""
+        with self._lock:
+            roots = list(self.roots)
+        total = sum(r.duration for r in roots) or 1e-12
+        lines: list[str] = []
+
+        def emit(spans: list[Span], depth: int) -> None:
+            groups: dict[str, list[Span]] = {}
+            for s in spans:
+                groups.setdefault(s.name, []).append(s)
+            for name, group in sorted(
+                groups.items(), key=lambda kv: -sum(s.duration for s in kv[1])
+            ):
+                seconds = sum(s.duration for s in group)
+                count = f" ×{len(group)}" if len(group) > 1 else ""
+                lines.append(
+                    f"{'  ' * depth}{name:<{max(1, 44 - 2 * depth)}}"
+                    f"{seconds:9.4f}s {100.0 * seconds / total:5.1f}%{count}"
+                )
+                emit([c for s in group for c in s.children], depth + 1)
+
+        emit(roots, 0)
+        return "\n".join(lines)
+
+    def total_seconds(self) -> float:
+        with self._lock:
+            return sum(r.duration for r in self.roots)
+
+    def export_roots(self) -> list[dict]:
+        """Serialized root spans (for shipping out of a pool worker)."""
+        with self._lock:
+            return [r.to_dict() for r in self.roots]
+
+
+#: The process-global tracer; disabled until a CLI/test turns it on.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer; returns the old one."""
+    global _TRACER
+    previous, _TRACER = _TRACER, tracer
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh enabled global tracer."""
+    tracer = Tracer(enabled=True)
+    set_tracer(tracer)
+    return tracer
+
+
+def span(name: str, **attrs: Any) -> _SpanHandle | _NullSpan:
+    """Open a span on the global tracer (no-op when tracing is off)."""
+    tracer = _TRACER
+    if not tracer.enabled:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..core.diagram import Diagram
 from ..core.geometry import Point
 from ..core.netlist import Network
+from ..obs import counters, get_logger, span
 from .box_place import PartitionLayout, place_partition
 from .boxes import form_boxes
 from .module_place import place_box
@@ -78,39 +79,73 @@ def place_network(
             raise ValueError("preplaced diagram must be over the same network")
         exclude = set(preplaced.placements)
 
-    report.partitions = partition_network(network, options.limits, exclude=exclude)
-
-    layouts: list[PartitionLayout] = []
-    for partition in report.partitions:
-        boxes = form_boxes(network, partition, options.box_size)
-        report.boxes.append(boxes)
-        box_layouts = [
-            place_box(network, box, extra_space=options.module_extra_space)
-            for box in boxes
-        ]
-        layouts.append(
-            place_partition(network, box_layouts, spacing=options.box_spacing)
-        )
-
-    fixed = _fixed_part(preplaced) if preplaced is not None else None
-    positions = place_partitions(
-        network, layouts, spacing=options.partition_spacing, fixed=fixed
-    )
-
-    diagram = preplaced.copy_placement() if preplaced is not None else Diagram(network)
-    if preplaced is not None:
-        for name, route in preplaced.routes.items():
-            target = diagram.route_for(name)
-            for path in route.paths:
-                target.add_path(path)
-    for layout, origin in zip(layouts, positions):
-        for module, (pos, rotation) in layout.module_placements().items():
-            diagram.place_module(
-                module, Point(origin.x + pos.x, origin.y + pos.y), rotation
+    with span("pablo.place", modules=len(network.modules)):
+        with span("pablo.partitioning"):
+            report.partitions = partition_network(
+                network, options.limits, exclude=exclude
             )
 
-    place_terminals(diagram)
+        with span("pablo.box_formation"):
+            for partition in report.partitions:
+                report.boxes.append(
+                    form_boxes(network, partition, options.box_size)
+                )
+
+        with span("pablo.module_placement"):
+            partition_box_layouts = [
+                [
+                    place_box(network, box, extra_space=options.module_extra_space)
+                    for box in boxes
+                ]
+                for boxes in report.boxes
+            ]
+
+        with span("pablo.box_placement"):
+            layouts: list[PartitionLayout] = [
+                place_partition(network, box_layouts, spacing=options.box_spacing)
+                for box_layouts in partition_box_layouts
+            ]
+
+        with span("pablo.partition_placement"):
+            fixed = _fixed_part(preplaced) if preplaced is not None else None
+            positions = place_partitions(
+                network, layouts, spacing=options.partition_spacing, fixed=fixed
+            )
+
+        diagram = (
+            preplaced.copy_placement() if preplaced is not None else Diagram(network)
+        )
+        if preplaced is not None:
+            for name, route in preplaced.routes.items():
+                target = diagram.route_for(name)
+                for path in route.paths:
+                    target.add_path(path)
+        for layout, origin in zip(layouts, positions):
+            for module, (pos, rotation) in layout.module_placements().items():
+                diagram.place_module(
+                    module, Point(origin.x + pos.x, origin.y + pos.y), rotation
+                )
+
+        with span("pablo.terminal_placement"):
+            place_terminals(diagram)
+
     report.seconds = time.perf_counter() - started
+    counters.inc("place.runs")
+    counters.inc("place.partitions", report.partition_count)
+    counters.inc("place.boxes", report.box_count)
+    counters.inc("place.modules", len(diagram.placements))
+    counters.observe("place.seconds", report.seconds)
+    get_logger("place.pablo").info(
+        "placement done",
+        extra={
+            "fields": {
+                "modules": len(diagram.placements),
+                "partitions": report.partition_count,
+                "boxes": report.box_count,
+                "seconds": round(report.seconds, 3),
+            }
+        },
+    )
     return diagram, report
 
 

@@ -15,6 +15,7 @@ from typing import Hashable
 
 from ..core.diagram import Diagram
 from ..core.netlist import Pin
+from ..obs import counters
 from .plane import Plane
 
 
@@ -38,8 +39,11 @@ def place_claims(plane: Plane, diagram: Diagram, nets: list[str]) -> int:
             claim_point = position.step(side.outward)
             if plane.add_claim(claim_point, claim_owner(net_name, pin)):
                 placed += 1
+    counters.inc("route.claims_placed", placed)
     return placed
 
 
 def release_net_claims(plane: Plane, net_name: str, pins: list[Pin]) -> None:
+    before = len(plane.claims)
     plane.release_claims(claim_owner(net_name, pin) for pin in pins)
+    counters.inc("route.claims_released", before - len(plane.claims))

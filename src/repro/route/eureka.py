@@ -16,6 +16,7 @@ every net:
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Literal
@@ -23,6 +24,7 @@ from typing import Iterable, Literal
 from ..core.diagram import Diagram, RoutedNet
 from ..core.geometry import Direction, Point, Side
 from ..core.netlist import Net, Pin
+from ..obs import counters, get_logger, span
 from . import claimpoints
 from .line_expansion import (
     CostOrder,
@@ -57,6 +59,48 @@ class RouterOptions:
         return replace(self, cost_order=CostOrder.BENDS_LENGTH_CROSSINGS)
 
 
+class FailureReason(str, enum.Enum):
+    """Why a net ended up unroutable (or needed the retry pass).
+
+    ``str``-valued so reasons serialize as plain strings in JSON reports
+    and compare equal to their value.
+    """
+
+    #: INIT_NET could not connect any pin pair — no geometry at all.
+    NO_INITIAL_PATH = "no_initial_path"
+    #: EXPAND_NET exhausted the search space for at least one pin.
+    EXPANSION_EXHAUSTED = "expansion_exhausted"
+    #: Failed while foreign claimpoints stood and no retry pass ran, so
+    #: the claims may be the obstacle (the retry would have told).
+    CLAIM_BLOCKED = "claim_blocked"
+    #: Failed the first pass *and* the claim-free retry.
+    RETRY_EXHAUSTED = "retry_exhausted"
+
+
+class NetFailure(str):
+    """A failed net's name, carrying *why* it failed.
+
+    Subclasses ``str`` so every existing consumer of
+    ``RoutingReport.failed_nets`` (membership tests, printing, JSON
+    serialization) keeps working while new code reads ``.reason``.
+    """
+
+    # (no __slots__: CPython forbids nonempty slots on str subclasses)
+    reason: FailureReason
+    unconnected_pins: int
+
+    def __new__(
+        cls, net: str, reason: FailureReason, *, unconnected_pins: int = 0
+    ) -> "NetFailure":
+        obj = super().__new__(cls, net)
+        obj.reason = reason
+        obj.unconnected_pins = unconnected_pins
+        return obj
+
+    def __repr__(self) -> str:  # keep prints informative
+        return f"NetFailure({str.__repr__(self)}, {self.reason.value})"
+
+
 @dataclass
 class RoutingReport:
     """What happened during one EUREKA run."""
@@ -64,8 +108,15 @@ class RoutingReport:
     nets_total: int = 0
     nets_routed: int = 0
     nets_failed: int = 0
-    failed_nets: list[str] = field(default_factory=list)
+    #: Unroutable nets; each element is a :class:`NetFailure` (a ``str``
+    #: subclass), so ``"n" in failed_nets`` still works and
+    #: ``failed_nets[0].reason`` says why.
+    failed_nets: list[NetFailure] = field(default_factory=list)
+    #: Nets that failed the first pass and were given the claim-free retry.
     retried_nets: list[str] = field(default_factory=list)
+    #: Subset of ``retried_nets`` that routed once the claims were gone —
+    #: their first-pass failure was claim blockage, not congestion.
+    recovered_nets: list[str] = field(default_factory=list)
     claims_placed: int = 0
     seconds: float = 0.0
     search: SearchStats = field(default_factory=SearchStats)
@@ -75,6 +126,11 @@ class RoutingReport:
         if self.nets_total == 0:
             return 1.0
         return self.nets_routed / self.nets_total
+
+    @property
+    def failure_reasons(self) -> dict[str, FailureReason]:
+        """``{net name: why it stayed unroutable}``."""
+        return {str(f): f.reason for f in self.failed_nets}
 
 
 def route_diagram(
@@ -91,50 +147,115 @@ def route_diagram(
     report = RoutingReport()
     started = time.perf_counter()
 
-    plane = Plane.for_diagram(
-        diagram, margin=options.margin, fixed_sides=options.fixed_sides
-    )
-    routable = _routable_nets(diagram)
-    if only_nets is not None:
-        wanted = set(only_nets)
-        routable = [n for n in routable if n in wanted]
-    todo = _order_nets(diagram, routable, options.net_order)
-    report.nets_total = len(todo)
+    with span("eureka.route") as root_span:
+        with span("eureka.plane"):
+            plane = Plane.for_diagram(
+                diagram, margin=options.margin, fixed_sides=options.fixed_sides
+            )
+            routable = _routable_nets(diagram)
+            if only_nets is not None:
+                wanted = set(only_nets)
+                routable = [n for n in routable if n in wanted]
+            todo = _order_nets(diagram, routable, options.net_order)
+        report.nets_total = len(todo)
 
-    if options.claimpoints:
-        report.claims_placed = claimpoints.place_claims(plane, diagram, todo)
-
-    failed: list[str] = []
-    for net_name in todo:
-        net = diagram.network.nets[net_name]
-        claimpoints.release_net_claims(plane, net_name, net.pins)
-        ok = _route_net(plane, diagram, net, options, report.search)
-        if not ok:
-            failed.append(net_name)
-
-    plane.release_all_claims()
-    if options.retry_failed and failed:
-        # The paper retries unconnected terminals once every claim is
-        # gone.  We keep protecting the *failed* nets' own terminals from
-        # each other during the retry — without this, the first retried
-        # net can wall in the next one all over again.
         if options.claimpoints:
-            claimpoints.place_claims(plane, diagram, failed)
-        still_failed = []
-        for net_name in failed:
-            report.retried_nets.append(net_name)
-            net = diagram.network.nets[net_name]
-            claimpoints.release_net_claims(plane, net_name, net.pins)
-            diagram.route_for(net_name).failed_pins.clear()
-            if not _route_net(plane, diagram, net, options, report.search):
-                still_failed.append(net_name)
-        failed = still_failed
-        plane.release_all_claims()
+            with span("eureka.claims"):
+                report.claims_placed = claimpoints.place_claims(plane, diagram, todo)
 
-    report.failed_nets = failed
-    report.nets_failed = len(failed)
-    report.nets_routed = report.nets_total - report.nets_failed
-    report.seconds = time.perf_counter() - started
+        first_pass: dict[str, FailureReason] = {}
+        claims_seen: dict[str, bool] = {}
+        with span("eureka.first_pass", nets=len(todo)):
+            for net_name in todo:
+                net = diagram.network.nets[net_name]
+                claimpoints.release_net_claims(plane, net_name, net.pins)
+                with span("eureka.net", net=net_name) as net_span:
+                    reason = _route_net(plane, diagram, net, options, report.search)
+                    if reason is not None:
+                        net_span.set(failed=reason.value)
+                        first_pass[net_name] = reason
+                        claims_seen[net_name] = bool(plane.claims)
+
+        plane.release_all_claims()
+        failed: list[NetFailure] = []
+        if options.retry_failed and first_pass:
+            # The paper retries unconnected terminals once every claim is
+            # gone.  We keep protecting the *failed* nets' own terminals
+            # from each other during the retry — without this, the first
+            # retried net can wall in the next one all over again.
+            with span("eureka.retry", nets=len(first_pass)):
+                retry_nets = list(first_pass)
+                if options.claimpoints:
+                    claimpoints.place_claims(plane, diagram, retry_nets)
+                for net_name in retry_nets:
+                    net = diagram.network.nets[net_name]
+                    claimpoints.release_net_claims(plane, net_name, net.pins)
+                    diagram.route_for(net_name).failed_pins.clear()
+                    report.retried_nets.append(net_name)
+                    counters.inc("route.retries")
+                    with span("eureka.net", net=net_name, retry=True) as net_span:
+                        reason = _route_net(
+                            plane, diagram, net, options, report.search
+                        )
+                    if reason is None:
+                        # Routed the moment the claims were gone: the
+                        # first-pass failure was claim blockage.
+                        report.recovered_nets.append(net_name)
+                        counters.inc("route.retry_recovered")
+                    else:
+                        net_span.set(failed=FailureReason.RETRY_EXHAUSTED.value)
+                        failure = NetFailure(
+                            net_name,
+                            FailureReason.RETRY_EXHAUSTED,
+                            unconnected_pins=len(
+                                diagram.route_for(net_name).failed_pins
+                            ),
+                        )
+                        failed.append(failure)
+            plane.release_all_claims()
+        else:
+            for net_name, reason in first_pass.items():
+                if claims_seen.get(net_name):
+                    # Foreign claims stood during the only attempt; with
+                    # no retry pass to disambiguate, blame them.
+                    reason = FailureReason.CLAIM_BLOCKED
+                failed.append(
+                    NetFailure(
+                        net_name,
+                        reason,
+                        unconnected_pins=len(diagram.route_for(net_name).failed_pins),
+                    )
+                )
+
+        report.failed_nets = failed
+        report.nets_failed = len(failed)
+        report.nets_routed = report.nets_total - report.nets_failed
+        report.seconds = time.perf_counter() - started
+        root_span.set(
+            nets=report.nets_total,
+            routed=report.nets_routed,
+            failed=report.nets_failed,
+        )
+
+    counters.inc("route.runs")
+    counters.inc("route.nets", report.nets_total)
+    counters.inc("route.nets_routed", report.nets_routed)
+    counters.inc("route.nets_failed", report.nets_failed)
+    for failure in failed:
+        counters.inc(f"route.failure.{failure.reason.value}")
+    counters.observe("route.seconds", report.seconds)
+    if report.failed_nets:
+        get_logger("route.eureka").warning(
+            "unroutable nets remain",
+            extra={
+                "fields": {
+                    "failed": report.nets_failed,
+                    "reasons": {
+                        str(f): f.reason.value for f in report.failed_nets
+                    },
+                }
+            },
+        )
     return report
 
 
@@ -175,9 +296,9 @@ def _route_net(
     net: Net,
     options: RouterOptions,
     stats: SearchStats,
-) -> bool:
+) -> FailureReason | None:
     """Route one (possibly multipoint, possibly partially prerouted) net.
-    Returns True when every pin ends up connected."""
+    Returns ``None`` when every pin ends up connected, otherwise why not."""
     route = diagram.route_for(net.name)
     allow = frozenset(diagram.pin_position(p) for p in net.pins)
     existing = plane.net_points(net.name)
@@ -192,7 +313,7 @@ def _route_net(
         connected_any = bool(plane.net_points(net.name))
         if not connected_any:
             route.failed_pins = list(pending)
-            return False
+            return FailureReason.NO_INITIAL_PATH
 
     # EXPAND_NET: connect each remaining pin to the geometry so far,
     # nearest pin first.
@@ -209,7 +330,7 @@ def _route_net(
         else:
             _commit(plane, route, net.name, result)
     route.failed_pins = failed
-    return not failed
+    return FailureReason.EXPANSION_EXHAUSTED if failed else None
 
 
 def _init_point_to_point(

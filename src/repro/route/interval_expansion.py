@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.geometry import Direction, Point, normalize_path
+from ..obs import counters
 from .line_expansion import RouteResult, SearchStats, _PlaneSnapshot
 from .plane import Plane
 
@@ -116,7 +117,11 @@ def route_connection_intervals(
         stats.routes += 1
         if not solutions:
             stats.failures += 1
+    counters.inc("route.connections")
+    counters.inc("route.expansions", expanded)
+    counters.observe("route.expansions_per_connection", expanded)
     if not solutions:
+        counters.inc("route.connection_failures")
         return None
     crossings, length, path = min(solutions, key=lambda s: (s[0], s[1]))
     norm = normalize_path(path)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..core.geometry import Direction, Orientation, Point, normalize_path
+from ..obs import counters
 from .plane import Plane
 
 
@@ -245,7 +246,11 @@ def route_connection(
         stats.routes += 1
         if goal_state is None:
             stats.failures += 1
+    counters.inc("route.connections")
+    counters.inc("route.expansions", expanded)
+    counters.observe("route.expansions_per_connection", expanded)
     if goal_state is None or goal_cost is None:
+        counters.inc("route.connection_failures")
         return None
 
     path: list[Point] = []

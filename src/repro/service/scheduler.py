@@ -27,12 +27,14 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from functools import partial
 from typing import Callable, Sequence
 
 from ..core.diagram import Diagram
 from ..core.generator import generate
 from ..formats.escher import read_escher, write_escher
+from ..obs import get_logger, get_registry, get_tracer, span
+from ..obs.counters import Registry, set_registry
+from ..obs.trace import Tracer, set_tracer
 from .cache import ResultCache
 from .jobs import JobSpec
 
@@ -78,6 +80,12 @@ class JobOutcome:
     def failed_nets(self) -> list[str]:
         return list(self.payload.get("failed_nets", [])) if self.payload else []
 
+    @property
+    def failure_reasons(self) -> dict[str, str]:
+        """``{net: why}`` for the job's unroutable nets (may be empty for
+        payloads produced before reasons were recorded)."""
+        return dict(self.payload.get("failure_reasons", {})) if self.payload else {}
+
     def load_diagram(self) -> Diagram:
         """Rebuild the routed diagram from the ESCHER text in the payload."""
         if not self.payload or "escher" not in self.payload:
@@ -92,17 +100,31 @@ def execute_job(payload: dict) -> dict:
     back as ``status: "error"``) so a pool worker survives bad inputs.
     """
     started = time.perf_counter()
+    # Record the job under a private tracer/registry: the spans and
+    # counters travel back in the payload and are re-parented into the
+    # parent process's trace by the scheduler.
+    tracer = Tracer(enabled=True)
+    registry = Registry()
+    previous_tracer = set_tracer(tracer)
+    previous_registry = set_registry(registry)
     try:
         spec = JobSpec.from_dict(payload)
-        result = generate(spec.build_network(), spec.pablo, spec.eureka)
+        with tracer.span("job", job=spec.name):
+            result = generate(spec.build_network(), spec.pablo, spec.eureka)
         return {
             "status": "ok",
             "name": spec.name,
             "escher": write_escher(result.diagram),
             "metrics": dict(result.metrics.as_row()),
             "timing": dict(result.timing_row),
-            "failed_nets": list(result.routing.failed_nets),
+            "failed_nets": [str(n) for n in result.routing.failed_nets],
+            "failure_reasons": {
+                net: reason.value
+                for net, reason in result.routing.failure_reasons.items()
+            },
             "seconds": round(time.perf_counter() - started, 4),
+            "trace": tracer.export_roots(),
+            "counters": registry.snapshot(),
         }
     except Exception as exc:  # noqa: BLE001 — worker must not die on bad jobs
         return {
@@ -113,6 +135,9 @@ def execute_job(payload: dict) -> dict:
             "timing": {},
             "seconds": round(time.perf_counter() - started, 4),
         }
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
 
 
 def _alarm(_signum, _frame):  # pragma: no cover - fires inside workers
@@ -155,6 +180,14 @@ class BatchScheduler:
     cache: ResultCache | None = None
     retry_crashed: bool = True
     worker: Callable[[dict], dict] = execute_job
+    #: Aggregate of every fresh job's worker-side counters, merged as the
+    #: outcomes land (cache hits contribute nothing — no work was done).
+    counters: Registry = field(default_factory=Registry)
+
+    #: Payload keys that describe *how* a run went, not *what* it made —
+    #: merged into the parent's telemetry on arrival and kept out of the
+    #: result cache (a warm hit must not replay the original run's spans).
+    TRANSIENT_KEYS = ("trace", "counters")
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -174,43 +207,93 @@ class BatchScheduler:
             nonlocal done
             outcomes[index] = outcome
             done += 1
+            self._record(outcome)
             if (
                 self.cache is not None
                 and outcome.ok
                 and not outcome.from_cache
             ):
-                self.cache.put(specs[index], outcome.payload)
+                self.cache.put(
+                    specs[index],
+                    {
+                        k: v
+                        for k, v in outcome.payload.items()
+                        if k not in self.TRANSIENT_KEYS
+                    },
+                )
             if progress is not None:
                 progress(outcome, done, len(specs))
 
-        pending: list[int] = []
-        for i, spec in enumerate(specs):
-            payload = self.cache.get(spec) if self.cache is not None else None
-            if payload is not None:
-                finish(i, JobOutcome(spec, payload["status"], payload, from_cache=True))
-            else:
-                pending.append(i)
-
-        attempt = 0
-        while pending:
-            attempt += 1
-            crashed = self._run_round(specs, pending, attempt, finish)
-            if not crashed or not self.retry_crashed or attempt >= 2:
-                for i in crashed:
+        with span("batch.run", jobs=len(specs), workers=self.max_workers):
+            pending: list[int] = []
+            for i, spec in enumerate(specs):
+                payload = self.cache.get(spec) if self.cache is not None else None
+                if payload is not None:
                     finish(
-                        i,
-                        JobOutcome(
-                            specs[i],
-                            "crashed",
-                            attempts=attempt,
-                            error="worker process died",
-                        ),
+                        i, JobOutcome(spec, payload["status"], payload, from_cache=True)
                     )
-                break
-            pending = crashed  # one fresh-pool retry round
+                else:
+                    pending.append(i)
+
+            attempt = 0
+            while pending:
+                attempt += 1
+                crashed = self._run_round(specs, pending, attempt, finish)
+                if not crashed or not self.retry_crashed or attempt >= 2:
+                    for i in crashed:
+                        finish(
+                            i,
+                            JobOutcome(
+                                specs[i],
+                                "crashed",
+                                attempts=attempt,
+                                error="worker process died",
+                            ),
+                        )
+                    break
+                pending = crashed  # one fresh-pool retry round
 
         assert all(o is not None for o in outcomes)
         return outcomes  # type: ignore[return-value]
+
+    def _record(self, outcome: JobOutcome) -> None:
+        """Fold one outcome's telemetry into the parent-process obs state:
+        worker spans are re-parented into the live trace, worker counters
+        merge into both the scheduler's and the global registry."""
+        registry = get_registry()
+        for reg in (self.counters, registry):
+            reg.inc("service.jobs")
+            reg.inc(f"service.status.{outcome.status}")
+            reg.inc(
+                "service.cache_hits" if outcome.from_cache else "service.cache_misses"
+            )
+        payload = outcome.payload or {}
+        worker_counters = payload.get("counters")
+        if worker_counters and not outcome.from_cache:
+            self.counters.merge(worker_counters)
+            registry.merge(worker_counters)
+        tracer = get_tracer()
+        if tracer.enabled:
+            job_label = f"job:{outcome.spec.name}"
+            roots = payload.get("trace") or []
+            if roots and not outcome.from_cache:
+                for root in roots:
+                    tracer.adopt(root, label=job_label)
+            else:
+                with tracer.span(job_label, status=outcome.status,
+                                 cached=outcome.from_cache):
+                    pass
+        if not outcome.ok:
+            get_logger("service.scheduler").warning(
+                "job did not finish ok",
+                extra={
+                    "fields": {
+                        "job": outcome.spec.name,
+                        "status": outcome.status,
+                        "error": outcome.error or "",
+                    }
+                },
+            )
 
     def _run_round(
         self,
