@@ -1,0 +1,219 @@
+"""Routing-plane index benchmark: pre-index snapshot Dijkstra vs the
+incrementally indexed A*.
+
+Two workloads (random nets and the datapath generator) are placed once;
+each engine then routes its own deep copy of the placed diagram, so both
+see identical geometry.  Measured per engine: wall time, states expanded
+and (for the A*) stale-entry prunes.  A microbench also isolates the
+per-connection obstacle-view cost — the O(plane) ``ReferenceSnapshot``
+rebuild (cold) vs the O(own net) ``PlaneIndex.view`` overlay (warm) on
+the fully routed plane.
+
+Cost-tuple identity is enforced two ways: the engines must rank every
+workload net identically (same routed/failed sets, same aggregate search
+outcome), and on the example netlists every single connection's
+(bends, crossings, length) is cross-checked against the reference via
+``RouterOptions(verify_optimum=True)``.
+
+Writes ``BENCH_route.json`` at the repo root for cross-PR tracking.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import time
+from pathlib import Path
+
+from conftest import once, print_table
+
+from repro.obs import counters
+from repro.place.pablo import PabloOptions, place_network
+from repro.route import RouterOptions, route_diagram
+from repro.route.plane import Plane
+from repro.route.reference import ReferenceSnapshot
+from repro.workloads import (
+    datapath_network,
+    example1_string,
+    example2_controller,
+    random_network,
+)
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_route.json"
+
+#: Acceptance floors for the tentpole (ISSUE 4): the indexed A* must
+#: expand ≥3x fewer states and finish ≥2x faster on the random-nets
+#: workload than the pre-index path.
+MIN_STATE_RATIO = 3.0
+MIN_WALL_RATIO = 2.0
+
+
+def _workloads():
+    random_net = random_network(modules=20, extra_nets=8, seed=11)
+    dp_net = datapath_network(lanes=3, stages=6)
+    return {
+        "random_nets": place_network(random_net, PabloOptions())[0],
+        "datapath": place_network(dp_net, PabloOptions())[0],
+    }
+
+
+def _route_once(diagram, options):
+    d = copy.deepcopy(diagram)
+    started = time.perf_counter()
+    report = route_diagram(d, options)
+    wall = time.perf_counter() - started
+    return d, report, wall
+
+
+def test_bench_route_engines(benchmark, experiment_store):
+    workloads = _workloads()
+
+    def run():
+        rows = []
+        for name, placed in workloads.items():
+            reg = counters.get_registry()
+            _, ref_report, ref_wall = _route_once(
+                placed, RouterOptions(engine="reference")
+            )
+            before = reg.get("route.astar_pruned")
+            _, idx_report, idx_wall = _route_once(placed, RouterOptions())
+            pruned = reg.get("route.astar_pruned") - before
+            assert idx_report.nets_routed == ref_report.nets_routed
+            assert {str(f) for f in idx_report.failed_nets} == {
+                str(f) for f in ref_report.failed_nets
+            }
+            rows.append(
+                {
+                    "workload": name,
+                    "engine": "reference",
+                    "wall_s": round(ref_wall, 3),
+                    "states": ref_report.search.states_expanded,
+                    "pruned": 0,
+                    "routed": f"{ref_report.nets_routed}/{ref_report.nets_total}",
+                }
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "engine": "indexed-astar",
+                    "wall_s": round(idx_wall, 3),
+                    "states": idx_report.search.states_expanded,
+                    "pruned": pruned,
+                    "routed": f"{idx_report.nets_routed}/{idx_report.nets_total}",
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print_table("routing engines: pre-index reference vs indexed A*", rows)
+    experiment_store["route_engines"] = rows
+
+    by_key = {(r["workload"], r["engine"]): r for r in rows}
+    ref = by_key[("random_nets", "reference")]
+    idx = by_key[("random_nets", "indexed-astar")]
+    state_ratio = ref["states"] / max(1, idx["states"])
+    wall_ratio = ref["wall_s"] / max(1e-9, idx["wall_s"])
+    experiment_store["route_ratios"] = {
+        "states_ratio": round(state_ratio, 2),
+        "wall_ratio": round(wall_ratio, 2),
+    }
+    assert state_ratio >= MIN_STATE_RATIO, (
+        f"A* expanded only {state_ratio:.2f}x fewer states than the "
+        f"reference (need >= {MIN_STATE_RATIO}x)"
+    )
+    assert wall_ratio >= MIN_WALL_RATIO, (
+        f"indexed path only {wall_ratio:.2f}x faster than the reference "
+        f"(need >= {MIN_WALL_RATIO}x)"
+    )
+
+
+def test_bench_snapshot_vs_view(benchmark, experiment_store):
+    """Per-connection obstacle-view cost on a fully routed plane: the
+    cold O(plane) snapshot rebuild vs the warm O(own net) index overlay."""
+    placed = _workloads()["random_nets"]
+    routed, _, _ = _route_once(placed, RouterOptions())
+    plane = Plane.for_diagram(routed)
+    nets = [n for n in routed.network.nets if plane.net_points(n)]
+    repeats = 25
+
+    def run():
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for net in nets:
+                ReferenceSnapshot(plane, net, frozenset())
+        cold = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for net in nets:
+                plane.index.view(net)
+        warm = time.perf_counter() - started
+        return cold, warm
+
+    cold, warm = once(benchmark, run)
+    per = repeats * len(nets)
+    rows = [
+        {
+            "view": "ReferenceSnapshot (cold rebuild)",
+            "per_connection_us": round(1e6 * cold / per, 1),
+        },
+        {
+            "view": "PlaneIndex.view (warm overlay)",
+            "per_connection_us": round(1e6 * warm / per, 1),
+        },
+    ]
+    print_table("per-connection obstacle view cost", rows)
+    experiment_store["route_view_cost"] = rows
+    assert warm < cold, "index overlay failed to beat the snapshot rebuild"
+
+
+def test_bench_route_verified_examples(benchmark, experiment_store):
+    """Every connection of the example netlists must have the exact
+    reference optimum: identical (bends, crossings, length) per net."""
+    examples = {
+        "example1_string": example1_string(),
+        "example2_controller": example2_controller(),
+    }
+
+    def run():
+        reg = counters.get_registry()
+        out = []
+        for name, network in examples.items():
+            placed, _ = place_network(network, PabloOptions())
+            v0 = reg.get("route.verified_connections")
+            m0 = reg.get("route.verify_mismatch")
+            _, report, _ = _route_once(placed, RouterOptions(verify_optimum=True))
+            out.append(
+                {
+                    "netlist": name,
+                    "verified": reg.get("route.verified_connections") - v0,
+                    "mismatches": reg.get("route.verify_mismatch") - m0,
+                    "routed": f"{report.nets_routed}/{report.nets_total}",
+                }
+            )
+        return out
+
+    rows = once(benchmark, run)
+    print_table("per-connection optimum verification (examples)", rows)
+    experiment_store["route_verified"] = rows
+    for row in rows:
+        assert row["verified"] > 0, row
+        assert row["mismatches"] == 0, row
+
+
+def test_bench_route_summary(experiment_store):
+    """Persist the routing-bench numbers as ``BENCH_route.json``."""
+    engines = experiment_store.get("route_engines")
+    if not engines:
+        return
+    BENCH_FILE.write_text(
+        json.dumps(
+            {
+                "benchmark": "routing-plane index + admissible A*",
+                "engines": engines,
+                "random_nets_speedup": experiment_store.get("route_ratios"),
+                "per_connection_view": experiment_store.get("route_view_cost"),
+                "verified_examples": experiment_store.get("route_verified"),
+            },
+            indent=1,
+        )
+    )

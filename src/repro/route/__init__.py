@@ -15,6 +15,8 @@ from .hightower import route_hightower
 from .channel import ChannelPin, ChannelRoute, channel_density, route_channel
 from .ripup import RipupReport, reroute_failed
 from .interval_expansion import route_connection_intervals
+from .index import NetView, PlaneIndex
+from .reference import route_connection_reference
 
 __all__ = [
     "DEFAULT_MARGIN",
@@ -38,4 +40,7 @@ __all__ = [
     "RipupReport",
     "reroute_failed",
     "route_connection_intervals",
+    "NetView",
+    "PlaneIndex",
+    "route_connection_reference",
 ]

@@ -44,6 +44,5 @@ def place_claims(plane: Plane, diagram: Diagram, nets: list[str]) -> int:
 
 
 def release_net_claims(plane: Plane, net_name: str, pins: list[Pin]) -> None:
-    before = len(plane.claims)
-    plane.release_claims(claim_owner(net_name, pin) for pin in pins)
-    counters.inc("route.claims_released", before - len(plane.claims))
+    released = plane.release_claims(claim_owner(net_name, pin) for pin in pins)
+    counters.inc("route.claims_released", released)

@@ -36,7 +36,7 @@ from .line_expansion import (
 from .plane import DEFAULT_MARGIN, Plane
 
 NetOrder = Literal["input", "shortest_first", "fewest_pins_first"]
-Engine = Literal["state", "intervals"]
+Engine = Literal["state", "intervals", "reference"]
 
 
 @dataclass(frozen=True)
@@ -49,10 +49,15 @@ class RouterOptions:
     fixed_sides: frozenset[Side] = frozenset()
     retry_failed: bool = True
     net_order: NetOrder = "shortest_first"
-    #: "state" = the exhaustive lexicographic search engine; "intervals" =
+    #: "state" = the indexed A* lexicographic search engine; "intervals" =
     #: the paper's literal segment-sweep engine (identical bend counts,
-    #: crossing-first tie-break only).
+    #: crossing-first tie-break only); "reference" = the pre-index
+    #: snapshot-rebuilding Dijkstra, kept for benchmarks and verification.
     engine: Engine = "state"
+    #: Cross-check every connection against the reference engine and
+    #: count cost-tuple mismatches under ``route.verify_mismatch`` (slow;
+    #: for tests and the routing bench).
+    verify_optimum: bool = False
 
     def with_swap_option(self) -> "RouterOptions":
         """The -s option: length before crossovers."""
@@ -393,7 +398,20 @@ def _route_pin_to_targets(
         return route_connection_intervals(
             plane, net.name, start, dirs, targets, allow=allow, stats=stats
         )
-    return route_connection(
+    if options.engine == "reference":
+        from .reference import route_connection_reference
+
+        return route_connection_reference(
+            plane,
+            net.name,
+            start,
+            dirs,
+            targets,
+            allow=allow,
+            cost_order=options.cost_order,
+            stats=stats,
+        )
+    result = route_connection(
         plane,
         net.name,
         start,
@@ -403,6 +421,28 @@ def _route_pin_to_targets(
         cost_order=options.cost_order,
         stats=stats,
     )
+    if options.verify_optimum:
+        from .reference import route_connection_reference
+
+        check = route_connection_reference(
+            plane,
+            net.name,
+            start,
+            dirs,
+            targets,
+            allow=allow,
+            cost_order=options.cost_order,
+        )
+        ours = None if result is None else (result.bends, result.crossings, result.length)
+        theirs = None if check is None else (check.bends, check.crossings, check.length)
+        counters.inc("route.verified_connections")
+        if ours != theirs:
+            counters.inc("route.verify_mismatch")
+            get_logger("route.eureka").error(
+                "indexed A* disagrees with reference optimum",
+                extra={"fields": {"net": net.name, "astar": ours, "reference": theirs}},
+            )
+    return result
 
 
 def _arrival_directions(diagram: Diagram, pin: Pin) -> frozenset[Direction] | None:

@@ -20,6 +20,12 @@ minimum crossovers then minimum length (UPDATE_SOLUTION); like the
 paper's, that tie-break considers only the wave in which the first
 solution appears, so bend counts always match the exhaustive engine while
 the crossover/length tie-break may occasionally differ.
+
+Obstacle queries come from the plane's incremental
+:class:`~repro.route.index.PlaneIndex`: each column's straight run jumps
+to the next static obstacle with a bisect over the index's per-row/
+per-column sorted obstacle coordinates (``NetView.run_stop``) instead of
+probing the hard and blocked sets point by point.
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ from typing import Iterable, Mapping
 
 from ..core.geometry import Direction, Point, normalize_path
 from ..obs import counters
-from .line_expansion import RouteResult, SearchStats, _PlaneSnapshot
+from .index import NetView
+from .line_expansion import RouteResult, SearchStats
 from .plane import Plane
 
 _DX = {Direction.LEFT: -1, Direction.RIGHT: 1, Direction.UP: 0, Direction.DOWN: 0}
@@ -78,15 +85,16 @@ def route_connection_intervals(
         targets = {p: None for p in targets}
     if not targets:
         return None
+    start_directions = list(start_directions)
+    view = plane.index.view(net, allow)
     if start in targets:
-        return RouteResult(path=[start], bends=0, crossings=0, length=0)
+        dirs = targets[start]
+        if (
+            dirs is None or any(d in dirs for d in start_directions)
+        ) and not view.foreign_at(start):
+            return RouteResult(path=[start], bends=0, crossings=0, length=0)
 
-    snap = _PlaneSnapshot(plane, net, allow)
-    target_dirs = {
-        (p.x, p.y): dirs for p, dirs in targets.items() if p != start
-    }
-    if not target_dirs:
-        return None
+    target_dirs = {(p.x, p.y): dirs for p, dirs in targets.items()}
 
     # (axis, x, y): a cell may be swept once per axis (True = vertical).
     visited: set[tuple[bool, int, int]] = set()
@@ -103,7 +111,7 @@ def route_connection_intervals(
         for active in wave:
             expanded += 1
             _expand_segment(
-                snap,
+                view,
                 active,
                 target_dirs,
                 visited,
@@ -143,62 +151,68 @@ def _line_coord(p: Point, d: Direction) -> int:
 
 
 def _expand_segment(
-    snap: _PlaneSnapshot,
+    view: NetView,
     active: _Active,
     target_dirs,
-    visited: set[tuple[int, int]],
+    visited: set[tuple[bool, int, int]],
     next_wave: list[_Active],
     solutions: list,
 ) -> None:
     """EXPAND_SEGMENT: sweep ``active`` in its direction until every
-    subrange is consumed, recording the zone, solutions and new actives."""
+    subrange is consumed, recording the zone, solutions and new actives.
+
+    Columns are independent, so each is swept to completion on its own:
+    a bisect against the index's sorted obstacle coordinates bounds every
+    straight run, and only the per-search ``visited`` marks (and crossing
+    counts) are checked point by point inside the run.
+    """
     d = active.direction
     vertical_sweep = _DY[d] != 0
     step = _DY[d] if vertical_sweep else _DX[d]
-    blocked = snap.blocked_v if vertical_sweep else snap.blocked_h
-    crossing_counts = snap.cross_v if vertical_sweep else snap.cross_h
-    hard = snap.hard
-    foreign_any = snap.foreign_any
+    cross_tot = view.cross_v if vertical_sweep else view.cross_h
+    own_cross = view.own_cross_v if vertical_sweep else view.own_cross_h
+    occ_pts = view.occ_pts
+    self_clear = view.self_clear
     if vertical_sweep:
-        limit_lo, limit_hi = snap.x1, snap.x2
-        index_lo, index_hi = snap.y1, snap.y2
+        limit_lo, limit_hi = view.x1, view.x2
+        index_lo, index_hi = view.y1, view.y2
     else:
-        limit_lo, limit_hi = snap.y1, snap.y2
-        index_lo, index_hi = snap.x1, snap.x2
+        limit_lo, limit_hi = view.y1, view.y2
+        index_lo, index_hi = view.x1, view.x2
 
-    def pt(v: int, idx: int) -> tuple[int, int]:
-        return (v, idx) if vertical_sweep else (idx, v)
-
-    # Per column v of the segment: how far the sweep got (zone extent) and
-    # the accumulated crossing count at that column.
-    frontier: dict[int, int] = {
-        v: active.crossings
-        for v in range(max(active.lo, limit_lo), min(active.hi, limit_hi) + 1)
-    }
     reached: dict[int, list[tuple[int, int]]] = {}  # v -> [(index, crossings)]
-
-    index = active.index
-    while frontier:
-        index += step
-        if not (index_lo <= index <= index_hi):
-            break
-        still: dict[int, int] = {}
-        for v, crossings in frontier.items():
-            q = pt(v, index)
+    run_stop = view.run_stop
+    for v in range(max(active.lo, limit_lo), min(active.hi, limit_hi) + 1):
+        crossings = active.crossings
+        index = active.index
+        stop = run_stop(vertical_sweep, v, index, step)
+        if step > 0:
+            end = index_hi if stop is None else min(stop - 1, index_hi)
+        else:
+            end = index_lo if stop is None else max(stop + 1, index_lo)
+        cells = None
+        while index != end:
+            index += step
+            q = (v, index) if vertical_sweep else (index, v)
             mark = (vertical_sweep, q[0], q[1])
-            if q in hard or q in blocked or mark in visited:
-                continue  # this column's sweep ends (an end segment)
-            crossings += crossing_counts.get(q, 0)
+            if mark in visited:
+                break  # this column's sweep ends (an end segment)
             visited.add(mark)
-            reached.setdefault(v, []).append((index, crossings))
+            cross = cross_tot.get(q, 0)
+            if cross:
+                cross -= own_cross.get(q, 0)
+            crossings += cross
+            if cells is None:
+                cells = reached.setdefault(v, [])
+            cells.append((index, crossings))
             arrival = target_dirs.get(q, _MISSING)
             if arrival is not _MISSING:
-                if (arrival is None or d in arrival) and q not in foreign_any:
+                if (arrival is None or d in arrival) and (
+                    q not in occ_pts or q in self_clear
+                ):
                     solutions.append(
                         _make_solution(active, v, index, crossings, vertical_sweep)
                     )
-            still[v] = crossings
-        frontier = still
 
     # NEW_ACTIVES: along every swept column, the reached cells where a
     # bend is legal (no foreign wire through the point) become the next
@@ -216,7 +230,8 @@ def _expand_segment(
         cells.sort()
         groups: list[list[tuple[int, int]]] = []
         for idx, cr in cells:
-            if pt(v, idx) in foreign_any:
+            q = (v, idx) if vertical_sweep else (idx, v)
+            if q in occ_pts and q not in self_clear:
                 groups.append([])  # crossing point: a bend may not sit here
                 continue
             if (

@@ -16,9 +16,22 @@ search over states ``(point, travel direction)`` on the routing plane:
   points block (section 5.5.2: "the only obstacles are modules and bends
   in nets").
 
-The first target state popped from the priority queue is therefore the
-paper's optimum, and — like the paper's algorithm (section 5.5.4) — the
-search is exhaustive, so a connection is found whenever one exists.
+The search is an *admissible lexicographic A\\**: each state is ordered by
+its cost-so-far plus a per-state lower bound of (minimum remaining bends —
+0/1/2/3 from the geometric relation of ``(point, direction)`` to the
+nearest target — and remaining Manhattan length to the targets' bounding
+box).  Both bounds never overestimate, so the first target state popped is
+still the paper's exact optimum (bends, then crossings, then length, and
+the ``-s`` swap) while states pointing away from every target are pruned.
+Like the paper's algorithm (section 5.5.4) the search stays exhaustive: a
+connection is found whenever one exists.
+
+Obstacle queries come from the plane's incremental
+:class:`~repro.route.index.PlaneIndex` — a per-connection
+:class:`~repro.route.index.NetView` overlay built in O(own net) — instead
+of the O(plane) snapshot rebuild the pre-index router paid per connection
+(that path survives as :mod:`repro.route.reference` for benchmarking and
+cross-checking).
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
-from ..core.geometry import Direction, Orientation, Point, normalize_path
+from ..core.geometry import Direction, Point, normalize_path
 from ..obs import counters
 from .plane import Plane
 
@@ -63,68 +76,11 @@ class SearchStats:
     states_expanded: int = 0
     routes: int = 0
     failures: int = 0
+    #: Heap entries skipped as stale/superseded (A* pruning bookkeeping).
+    pruned: int = 0
 
 
 _State = tuple[Point, Direction]
-
-
-class _PlaneSnapshot:
-    """Flat per-net view of the plane for the search's inner loop.
-
-    Built once per connection (O(occupied points)); turns the plane's
-    per-step queries into set/dict lookups on bare ``(x, y)`` tuples.
-    """
-
-    __slots__ = (
-        "x1",
-        "y1",
-        "x2",
-        "y2",
-        "hard",
-        "foreign_any",
-        "blocked_h",
-        "blocked_v",
-        "cross_h",
-        "cross_v",
-    )
-
-    def __init__(self, plane: Plane, net: str, allow: frozenset[Point]) -> None:
-        bounds = plane.bounds
-        self.x1, self.y1 = bounds.x, bounds.y
-        self.x2, self.y2 = bounds.x2, bounds.y2
-        self.hard = (set(plane.blocked) | set(plane.claims)) - allow
-        # Points carrying any foreign wire (no turning/terminating there).
-        self.foreign_any: set[tuple[int, int]] = set()
-        # Points a wire moving horizontally/vertically may not enter.
-        self.blocked_h: set[tuple[int, int]] = set()
-        self.blocked_v: set[tuple[int, int]] = set()
-        # Crossing counts per point for horizontal/vertical passage.
-        self.cross_h: dict[tuple[int, int], int] = {}
-        self.cross_v: dict[tuple[int, int], int] = {}
-        horizontal = Orientation.HORIZONTAL
-        vertical = Orientation.VERTICAL
-        for point, nets in plane.usage.items():
-            foreign = False
-            for other, orientations in nets.items():
-                if other == net:
-                    continue
-                foreign = True
-                if point in plane.nodes.get(other, ()):  # bend/end/branch
-                    self.blocked_h.add(point)
-                    self.blocked_v.add(point)
-                    continue
-                if not orientations:  # degenerate single-point wire
-                    self.blocked_h.add(point)
-                    self.blocked_v.add(point)
-                    continue
-                if horizontal in orientations:
-                    self.blocked_h.add(point)
-                    self.cross_v[point] = self.cross_v.get(point, 0) + 1
-                if vertical in orientations:
-                    self.blocked_v.add(point)
-                    self.cross_h[point] = self.cross_h.get(point, 0) + 1
-            if foreign:
-                self.foreign_any.add(point)
 
 
 #: (dx, dy, moves_horizontally) per direction, and the opposite's index.
@@ -161,60 +117,147 @@ def route_connection(
         targets = {p: None for p in targets}
     if not targets:
         return None
+    start_directions = list(start_directions)
+    view = plane.index.view(net, allow)
     if start in targets:
-        return RouteResult(path=[start], bends=0, crossings=0, length=0)
+        # Zero-length connection: legal only under the same acceptance
+        # rule as the main loop — the target must carry no foreign wire
+        # and its arrival constraint must admit a start direction.
+        dirs = targets[start]
+        if (
+            dirs is None or any(d in dirs for d in start_directions)
+        ) and not view.foreign_at(start):
+            return RouteResult(path=[start], bends=0, crossings=0, length=0)
 
-    snap = _PlaneSnapshot(plane, net, allow)
+    # Arrival constraints plus the target geometry the heuristic needs:
+    # bounding box and per-row/per-column extents.
     target_dirs: dict[tuple[int, int], frozenset[int] | None] = {}
+    t_rows: dict[int, tuple[int, int]] = {}
+    t_cols: dict[int, tuple[int, int]] = {}
+    tx1 = ty1 = 1 << 60
+    tx2 = ty2 = -(1 << 60)
     for p, dirs in targets.items():
-        target_dirs[(p.x, p.y)] = (
+        tx, ty = p.x, p.y
+        target_dirs[(tx, ty)] = (
             None if dirs is None else frozenset(_DIR_INDEX[d] for d in dirs)
         )
+        mm = t_rows.get(ty)
+        t_rows[ty] = (
+            (tx, tx) if mm is None else (tx if tx < mm[0] else mm[0], tx if tx > mm[1] else mm[1])
+        )
+        mm = t_cols.get(tx)
+        t_cols[tx] = (
+            (ty, ty) if mm is None else (ty if ty < mm[0] else mm[0], ty if ty > mm[1] else mm[1])
+        )
+        if tx < tx1:
+            tx1 = tx
+        if tx > tx2:
+            tx2 = tx
+        if ty < ty1:
+            ty1 = ty
+        if ty > ty2:
+            ty2 = ty
 
     crossings_first = cost_order is CostOrder.BENDS_CROSSINGS_LENGTH
-    x1, y1, x2, y2 = snap.x1, snap.y1, snap.x2, snap.y2
-    hard = snap.hard
-    foreign_any = snap.foreign_any
-    blocked = (snap.blocked_h, snap.blocked_v)
-    crossings_at = (snap.cross_h, snap.cross_v)
+    x1, y1, x2, y2 = view.x1, view.y1, view.x2, view.y2
+    hard_blocked = view.blocked
+    hard_claims = view.claims
+    blocked = (view.blocked_h, view.blocked_v)
+    unblock = (view.unblock_h, view.unblock_v)
+    cross_tot = (view.cross_h, view.cross_v)
+    own_cross = (view.own_cross_h, view.own_cross_v)
+    occ_pts = view.occ_pts
+    self_clear = view.self_clear
+
+    def heur(qx: int, qy: int, di: int) -> tuple[int, int]:
+        """Admissible (remaining bends, remaining length) lower bound for
+        state ``((qx, qy), direction di)`` against the whole target set."""
+        # Manhattan distance to the targets' bounding box.
+        hl = 0
+        if qx < tx1:
+            hl = tx1 - qx
+        elif qx > tx2:
+            hl = qx - tx2
+        if qy < ty1:
+            hl += ty1 - qy
+        elif qy > ty2:
+            hl += qy - ty2
+        # Minimum bends from the geometric relation to the nearest target:
+        # 0 when one lies straight ahead, 1 when one is not strictly
+        # behind, 2 when all are behind but one is off this line, 3 when
+        # every target is strictly behind on the travel line itself.
+        if di == 0:  # LEFT
+            mm = t_rows.get(qy)
+            if mm is not None and mm[0] <= qx:
+                return 0, hl
+            if tx1 <= qx:
+                return 1, hl
+            off_line = ty1 != qy or ty2 != qy
+        elif di == 1:  # RIGHT
+            mm = t_rows.get(qy)
+            if mm is not None and mm[1] >= qx:
+                return 0, hl
+            if tx2 >= qx:
+                return 1, hl
+            off_line = ty1 != qy or ty2 != qy
+        elif di == 2:  # UP
+            mm = t_cols.get(qx)
+            if mm is not None and mm[1] >= qy:
+                return 0, hl
+            if ty2 >= qy:
+                return 1, hl
+            off_line = tx1 != qx or tx2 != qx
+        else:  # DOWN
+            mm = t_cols.get(qx)
+            if mm is not None and mm[0] <= qy:
+                return 0, hl
+            if ty1 <= qy:
+                return 1, hl
+            off_line = tx1 != qx or tx2 != qx
+        return (2 if off_line else 3), hl
 
     counter = 0
     heap: list = []
-    # state key: (x, y, dir_index) -> best cost tuple
+    # state key: (x, y, dir_index) -> best cost-so-far tuple (key order)
     best: dict[tuple[int, int, int], tuple[int, int, int]] = {}
     parents: dict[tuple[int, int, int], tuple[int, int, int] | None] = {}
     sx, sy = start.x, start.y
     zero = (0, 0, 0)
     for d in start_directions:
-        state = (sx, sy, _DIR_INDEX[d])
+        di = _DIR_INDEX[d]
+        state = (sx, sy, di)
         best[state] = zero
         parents[state] = None
-        heapq.heappush(heap, (zero, counter, state))
+        hb, hl = heur(sx, sy, di)
+        f = (hb, 0, hl) if crossings_first else (hb, hl, 0)
+        heapq.heappush(heap, (f, counter, zero, state))
         counter += 1
 
     expanded = 0
+    pruned = 0
     goal_state = None
     goal_cost = None
     heappush, heappop = heapq.heappush, heapq.heappop
 
     while heap:
-        cost, _, state = heappop(heap)
-        if cost > best.get(state, cost):
-            continue  # stale entry
-        px, py, di = state
+        _f, _, cost, state = heappop(heap)
+        if cost != best.get(state):
+            pruned += 1  # stale entry, superseded by a better push
+            continue
         expanded += 1
+        px, py, di = state
 
         point_key = (px, py)
         arrival_ok = target_dirs.get(point_key, _MISSING)
-        if arrival_ok is not _MISSING and point_key != (sx, sy):
+        if arrival_ok is not _MISSING and parents[state] is not None:
             if (arrival_ok is None or di in arrival_ok) and (
-                point_key not in foreign_any
+                point_key not in occ_pts or point_key in self_clear
             ):
                 goal_state, goal_cost = state, cost
                 break
 
-        can_turn = point_key not in foreign_any
-        c0, c1, length = cost
+        can_turn = point_key not in occ_pts or point_key in self_clear
+        c0, c1, c2 = cost
         for ndi in range(4):
             if ndi == _OPPOSITE[di]:
                 continue
@@ -226,28 +269,40 @@ def route_connection(
             if not (x1 <= qx <= x2 and y1 <= qy <= y2):
                 continue
             q = (qx, qy)
-            if q in hard or q in blocked[0 if moves_h else 1]:
+            if (q in hard_blocked or q in hard_claims) and q not in allow:
                 continue
-            cross = crossings_at[0 if moves_h else 1].get(q, 0)
+            axis = 0 if moves_h else 1
+            if q in blocked[axis] and q not in unblock[axis]:
+                continue
+            cross = cross_tot[axis].get(q, 0)
+            if cross:
+                cross -= own_cross[axis].get(q, 0)
             if crossings_first:
-                ncost = (c0 + turning, c1 + cross, length + 1)
+                ncost = (c0 + turning, c1 + cross, c2 + 1)
             else:
-                ncost = (c0 + turning, c1 + 1, length + cross)
+                ncost = (c0 + turning, c1 + 1, c2 + cross)
             nstate = (qx, qy, ndi)
             old = best.get(nstate)
             if old is None or ncost < old:
                 best[nstate] = ncost
                 parents[nstate] = state
-                heappush(heap, (ncost, counter, nstate))
+                hb, hl = heur(qx, qy, ndi)
+                if crossings_first:
+                    f = (ncost[0] + hb, ncost[1], ncost[2] + hl)
+                else:
+                    f = (ncost[0] + hb, ncost[1] + hl, ncost[2])
+                heappush(heap, (f, counter, ncost, nstate))
                 counter += 1
 
     if stats is not None:
         stats.states_expanded += expanded
+        stats.pruned += pruned
         stats.routes += 1
         if goal_state is None:
             stats.failures += 1
     counters.inc("route.connections")
     counters.inc("route.expansions", expanded)
+    counters.inc("route.astar_pruned", pruned)
     counters.observe("route.expansions_per_connection", expanded)
     if goal_state is None or goal_cost is None:
         counters.inc("route.connection_failures")

@@ -31,15 +31,22 @@ from ..core.geometry import (
     Rect,
     Side,
     normalize_path,
+    path_points,
     path_segments,
 )
+from .index import IndexedPointSet, PlaneIndex
 
 DEFAULT_MARGIN = 4
 
 
 @dataclass
 class Plane:
-    """Mutable routing state over a bounded grid."""
+    """Mutable routing state over a bounded grid.
+
+    Every mutation keeps the :class:`~repro.route.index.PlaneIndex` in
+    ``self.index`` up to date, so routers get per-connection views of the
+    obstacle field in O(own net) instead of rebuilding O(plane) snapshots.
+    """
 
     bounds: Rect
     blocked: set[Point] = field(default_factory=set)
@@ -50,6 +57,18 @@ class Plane:
     )
     # net name -> points where the net bends, ends or branches
     nodes: dict[str, set[Point]] = field(default_factory=lambda: defaultdict(set))
+    index: PlaneIndex = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.index = PlaneIndex(self)
+        # ``blocked`` is mutated directly by callers, so the notifying
+        # container carries the index hook; pre-populated contents (the
+        # dataclass allows passing them) are ingested here.
+        self.blocked = IndexedPointSet(self.index, self.blocked)
+        self._claims_by_owner: dict[Hashable, set[Point]] = {}
+        for point, owner in self.claims.items():
+            self._claims_by_owner.setdefault(owner, set()).add(point)
+        self.index.rebuild()
 
     # -- construction ---------------------------------------------------
 
@@ -99,15 +118,29 @@ class Plane:
         if not self.bounds.contains(point):
             return False
         self.claims[point] = owner
+        self._claims_by_owner.setdefault(owner, set()).add(point)
+        self.index.claim_added(point)
         return True
 
-    def release_claims(self, owners: Iterable[Hashable]) -> None:
-        owners = set(owners)
-        for point in [p for p, o in self.claims.items() if o in owners]:
-            del self.claims[point]
+    def release_claims(self, owners: Iterable[Hashable]) -> int:
+        """Release every claim of the given owners; returns how many
+        points were freed (served from the per-owner map, O(released)
+        instead of a scan over all claims)."""
+        released = 0
+        for owner in set(owners):
+            for point in self._claims_by_owner.pop(owner, ()):
+                del self.claims[point]
+                self.index.claim_removed(point)
+                released += 1
+        return released
 
-    def release_all_claims(self) -> None:
-        self.claims.clear()
+    def release_all_claims(self) -> int:
+        released = len(self.claims)
+        for point in list(self.claims):
+            del self.claims[point]  # before the hook: it re-checks claims
+            self.index.claim_removed(point)
+        self._claims_by_owner.clear()
+        return released
 
     # -- net registration -------------------------------------------------
 
@@ -124,6 +157,7 @@ class Plane:
         if len(norm) == 1:
             self.usage[norm[0]].setdefault(net, set())
         self._update_branch_nodes(net, norm)
+        self.index.net_path_added(net, set(path_points(norm)))
 
     def _update_branch_nodes(self, net: str, path: Sequence[Point]) -> None:
         """A later path joining earlier geometry creates a branch node at
@@ -132,7 +166,7 @@ class Plane:
             self.nodes[net].add(endpoint)
 
     def net_points(self, net: str) -> set[Point]:
-        return {p for p, nets in self.usage.items() if net in nets}
+        return self.index.net_points(net)
 
     # -- router queries ----------------------------------------------------
 
