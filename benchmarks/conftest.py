@@ -9,18 +9,55 @@ the sweep without re-running everything.  Rendered figures land in
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
+
+from repro.obs.runlog import DEFAULT_RUNLOG, RunLog
 
 OUT_DIR = Path(__file__).resolve().parent.parent / "out"
 FIGURES_DIR = OUT_DIR / "figures"
 
 
 @pytest.fixture(scope="session")
-def experiment_store() -> dict:
-    """Session-wide store: experiment id -> result summary dict."""
-    return {}
+def experiment_store():
+    """Session-wide store: experiment id -> result summary dict.
+
+    At session end every experiment lands in the run registry as a
+    ``kind="bench"`` record (``ARTWORK_RUNLOG`` overrides the path), so
+    ``artwork-inspect``/``regress`` see benchmark history alongside CLI
+    runs.
+    """
+    store: dict = {}
+    yield store
+    if not store:
+        return
+    runlog = RunLog(os.environ.get("ARTWORK_RUNLOG", str(DEFAULT_RUNLOG)))
+    for experiment, summary in store.items():
+        if not isinstance(summary, dict):
+            continue
+        metrics = {
+            k: v
+            for k, v in summary.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        # Registry rows must stay small: keep scalar context only (some
+        # stores stash whole rendered artifacts alongside the numbers).
+        extra = {
+            k: v
+            for k, v in summary.items()
+            if k not in metrics
+            and isinstance(v, (str, bool))
+            and (not isinstance(v, str) or len(v) <= 200)
+        }
+        runlog.record(
+            kind="bench",
+            name=str(experiment),
+            wall_seconds=float(metrics.get("seconds", metrics.get("wall_s", 0.0))),
+            metrics=metrics,
+            extra=extra,
+        )
 
 
 @pytest.fixture(scope="session")

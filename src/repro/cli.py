@@ -29,6 +29,7 @@ from pathlib import Path
 from . import __version__
 from .core.diagram import DiagramError
 from .obs import (
+    RunLog,
     add_log_argument,
     enable_tracing,
     get_registry,
@@ -96,7 +97,7 @@ def _version_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def _obs_args(parser: argparse.ArgumentParser) -> None:
-    """``--trace`` / ``--profile`` / ``--log-level`` on a pipeline command."""
+    """``--trace``/``--profile``/``--runlog``/``--log-level`` flags."""
     parser.add_argument(
         "--trace",
         metavar="FILE",
@@ -107,23 +108,45 @@ def _obs_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the hierarchical time tree and event counters after the run",
     )
+    parser.add_argument(
+        "--runlog",
+        metavar="FILE",
+        help="append a RunRecord for this run to the JSONL run registry "
+        "(inspect it with artwork-inspect)",
+    )
     add_log_argument(parser)
 
 
 def _obs_begin(args: argparse.Namespace):
-    """Configure logging and, when asked for, turn tracing on."""
+    """Configure logging and, when asked for, turn tracing on (the run
+    registry needs per-stage timings, so ``--runlog`` implies tracing)."""
     setup_logging(args.log_level)
-    if getattr(args, "trace", None) or getattr(args, "profile", False):
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "runlog", None)
+    ):
         return enable_tracing()
     return None
 
 
+def _runlog_for(args: argparse.Namespace) -> RunLog | None:
+    return RunLog(args.runlog) if getattr(args, "runlog", None) else None
+
+
 def _obs_end(args: argparse.Namespace, tracer) -> None:
-    """Emit whatever observability outputs the flags requested."""
+    """Emit whatever observability outputs the flags requested.
+
+    Runs from ``finally`` blocks, so the trace survives aborted runs
+    (DiagramError mid-pipeline still leaves the spans collected so far).
+    """
     if tracer is None:
         return
     if args.trace:
-        tracer.write_chrome_trace(args.trace)
+        try:
+            tracer.write_chrome_trace(args.trace)
+        except OSError as exc:
+            raise _fail(f"cannot write trace {args.trace!r}: {exc}") from exc
         print(f"trace -> {args.trace} (open in chrome://tracing or Perfetto)")
     if args.profile:
         print(tracer.profile_tree())
@@ -137,6 +160,11 @@ def _run_guarded(main, argv) -> int:
     try:
         return main(argv)
     except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except DiagramError as exc:
+        # A malformed/inconsistent diagram surfacing mid-pipeline is an
+        # input problem too; the finally blocks already flushed the trace.
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
@@ -222,16 +250,31 @@ def _pablo_body(argv: list[str] | None) -> int:
     parser.add_argument("-o", "--output", default="placed.es", help="output ESCHER file")
     args = parser.parse_args(argv)
     tracer = _obs_begin(args)
-    network = _load_network(args)
-    diagram, report = place_network(network, _pablo_options(args))
-    save_escher(diagram, args.output)
-    print(
-        f"placed {len(diagram.placements)} modules in "
-        f"{report.partition_count} partitions / {report.box_count} boxes "
-        f"({report.seconds:.2f}s) -> {args.output}"
-    )
-    _obs_end(args, tracer)
-    return 0
+    try:
+        network = _load_network(args)
+        diagram, report = place_network(network, _pablo_options(args))
+        save_escher(diagram, args.output)
+        print(
+            f"placed {len(diagram.placements)} modules in "
+            f"{report.partition_count} partitions / {report.box_count} boxes "
+            f"({report.seconds:.2f}s) -> {args.output}"
+        )
+        runlog = _runlog_for(args)
+        if runlog is not None:
+            record = runlog.record(
+                kind="pablo",
+                name=network.name,
+                wall_seconds=report.seconds,
+                metrics=dict(diagram_metrics(diagram).as_row()),
+                extra={
+                    "partitions": report.partition_count,
+                    "boxes": report.box_count,
+                },
+            )
+            print(f"runlog: {record.run_id} -> {args.runlog}")
+        return 0
+    finally:
+        _obs_end(args, tracer)
 
 
 def eureka_main(argv: list[str] | None = None) -> int:
@@ -249,22 +292,41 @@ def _eureka_body(argv: list[str] | None) -> int:
     parser.add_argument("-o", "--output", default="routed.es", help="output ESCHER file")
     args = parser.parse_args(argv)
     tracer = _obs_begin(args)
-    network = _load_network(args)
     try:
-        diagram = load_escher(args.graphic, network)
-    except _INPUT_ERRORS as exc:
-        raise _fail(f"cannot load diagram {args.graphic!r}: {exc}") from exc
-    report = route_diagram(diagram, _eureka_options(args))
-    for failure in report.failed_nets:
-        print(
-            f"warning: net {str(failure)!r} is unroutable "
-            f"({failure.reason.value})",
-            file=sys.stderr,
-        )
-    save_escher(diagram, args.output)
-    _report(diagram)
-    _obs_end(args, tracer)
-    return 0 if not report.failed_nets else 1
+        network = _load_network(args)
+        try:
+            diagram = load_escher(args.graphic, network)
+        except _INPUT_ERRORS as exc:
+            raise _fail(f"cannot load diagram {args.graphic!r}: {exc}") from exc
+        report = route_diagram(diagram, _eureka_options(args))
+        for failure in report.failed_nets:
+            print(
+                f"warning: net {str(failure)!r} is unroutable "
+                f"({failure.reason.value})",
+                file=sys.stderr,
+            )
+        save_escher(diagram, args.output)
+        _report(diagram)
+        runlog = _runlog_for(args)
+        if runlog is not None:
+            record = runlog.record(
+                kind="eureka",
+                name=network.name,
+                wall_seconds=report.seconds,
+                metrics=dict(diagram_metrics(diagram).as_row()),
+                failures={
+                    str(f): {
+                        "reason": f.reason.value,
+                        "unconnected_pins": f.unconnected_pins,
+                    }
+                    for f in report.failed_nets
+                },
+                congestion=report.congestion,
+            )
+            print(f"runlog: {record.run_id} -> {args.runlog}")
+        return 0 if not report.failed_nets else 1
+    finally:
+        _obs_end(args, tracer)
 
 
 def quinto_main(argv: list[str] | None = None) -> int:
@@ -308,17 +370,26 @@ def _artwork_body(argv: list[str] | None) -> int:
     parser.add_argument("--escher", help="also write an ESCHER file here")
     args = parser.parse_args(argv)
     tracer = _obs_begin(args)
-    network = _load_network(args)
-    result = generate(network, _pablo_options(args), _eureka_options(args))
-    save_svg(result.diagram, args.output)
-    if args.escher:
-        save_escher(result.diagram, args.escher)
-    _report(result.diagram)
-    for net, reason in result.routing.failure_reasons.items():
-        print(f"warning: net {net!r} is unroutable ({reason.value})", file=sys.stderr)
-    print(f"wrote {args.output}")
-    _obs_end(args, tracer)
-    return 0 if not result.routing.failed_nets else 1
+    try:
+        network = _load_network(args)
+        result = generate(
+            network,
+            _pablo_options(args),
+            _eureka_options(args),
+            runlog=_runlog_for(args),
+        )
+        save_svg(result.diagram, args.output)
+        if args.escher:
+            save_escher(result.diagram, args.escher)
+        _report(result.diagram)
+        for net, reason in result.routing.failure_reasons.items():
+            print(f"warning: net {net!r} is unroutable ({reason.value})", file=sys.stderr)
+        print(f"wrote {args.output}")
+        if result.run_record is not None:
+            print(f"runlog: {result.run_record.run_id} -> {args.runlog}")
+        return 0 if not result.routing.failed_nets else 1
+    finally:
+        _obs_end(args, tracer)
 
 
 # -- artwork-batch: the job service front end -----------------------------
@@ -437,7 +508,13 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
     _obs_args(parser)
     args = parser.parse_args(argv)
     tracer = _obs_begin(args)
+    try:
+        return _artwork_batch_run(args)
+    finally:
+        _obs_end(args, tracer)
 
+
+def _artwork_batch_run(args: argparse.Namespace) -> int:
     manifest_path = Path(args.manifest)
     try:
         manifest = json.loads(manifest_path.read_text())
@@ -469,8 +546,9 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
 
     import time as _time
 
+    runlog = _runlog_for(args)
     scheduler = BatchScheduler(
-        max_workers=args.workers, timeout=args.timeout, cache=cache
+        max_workers=args.workers, timeout=args.timeout, cache=cache, runlog=runlog
     )
     started = _time.perf_counter()
     outcomes = scheduler.run(specs, progress=progress)
@@ -478,6 +556,7 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
 
     rows = []
     bad = 0
+    merged_metrics: dict[str, int] = {}
     for outcome in outcomes:
         if outcome.ok:
             (out_dir / f"{outcome.spec.name}.es").write_text(
@@ -487,6 +566,9 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
                 save_svg(outcome.load_diagram(), out_dir / f"{outcome.spec.name}.svg")
         timing = outcome.timing
         metrics = outcome.metrics
+        for key, value in metrics.items():
+            if isinstance(value, (int, float)):
+                merged_metrics[key] = merged_metrics.get(key, 0) + value
         rows.append(
             {
                 "job": outcome.spec.name,
@@ -527,7 +609,21 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
     )
     if args.report:
         Path(args.report).write_text(json.dumps({"jobs": rows, "summary": summary}, indent=1))
-    _obs_end(args, tracer)
+    if runlog is not None:
+        # The per-job records landed as outcomes arrived; this is the
+        # parent's merged view of the whole batch.
+        record = runlog.record(
+            kind="batch",
+            name=manifest_path.stem,
+            wall_seconds=wall,
+            counters=scheduler.counters.snapshot(),
+            metrics=merged_metrics,
+            extra={k: v for k, v in summary.items() if k != "counters"},
+        )
+        print(
+            f"runlog: batch {record.run_id} "
+            f"(+{len(outcomes)} job records) -> {args.runlog}"
+        )
     return 0 if bad == 0 else 1
 
 

@@ -8,6 +8,7 @@ quality metrics the experiments tabulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..obs import span
 from ..place.pablo import PabloOptions, PlacementReport, place_network
@@ -15,6 +16,9 @@ from ..route.eureka import RouterOptions, RoutingReport, route_diagram
 from .diagram import Diagram
 from .metrics import DiagramMetrics, diagram_metrics
 from .netlist import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.runlog import RunLog, RunRecord
 
 
 @dataclass
@@ -25,6 +29,8 @@ class GenerationResult:
     placement: PlacementReport
     routing: RoutingReport
     metrics: DiagramMetrics
+    #: Filled when the run was recorded into a run registry.
+    run_record: "RunRecord | None" = None
 
     @property
     def timing_row(self) -> dict[str, float | int]:
@@ -44,8 +50,16 @@ def generate(
     eureka: RouterOptions | None = None,
     *,
     preplaced: Diagram | None = None,
+    runlog: "RunLog | None" = None,
+    run_name: str | None = None,
+    run_kind: str = "artwork",
 ) -> GenerationResult:
-    """Run placement then routing on a network description."""
+    """Run placement then routing on a network description.
+
+    With ``runlog`` set, the run appends a :class:`~repro.obs.runlog.
+    RunRecord` (stage timings, counters, quality metrics, failure
+    reasons, congestion heatmap) to that registry before returning.
+    """
     with span("artwork.generate", network=network.name) as root:
         network.validate()
         diagram, placement_report = place_network(network, pablo, preplaced=preplaced)
@@ -55,12 +69,22 @@ def generate(
             nets_routed=routing_report.nets_routed,
             nets_failed=routing_report.nets_failed,
         )
-    return GenerationResult(
+    result = GenerationResult(
         diagram=diagram,
         placement=placement_report,
         routing=routing_report,
         metrics=diagram_metrics(diagram),
     )
+    if runlog is not None:
+        from ..service.jobs import JobSpec  # deferred: service is optional here
+
+        result.run_record = runlog.record_result(
+            result,
+            kind=run_kind,
+            name=run_name or network.name,
+            spec_digest=JobSpec.from_network(network, pablo, eureka).digest,
+        )
+    return result
 
 
 def route_placed(

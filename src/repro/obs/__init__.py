@@ -1,16 +1,33 @@
 """``repro.obs`` — the observability layer.
 
-Three small, dependency-free pieces every other subsystem records into:
+Tier 1 — live, in-process telemetry every other subsystem records into:
 
 * :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
   trace-event export and a plain-text profile tree;
-* :mod:`repro.obs.counters` — process-local counters/histograms with
-  cross-process snapshot merging;
+* :mod:`repro.obs.counters` — process-local counters/histograms (with
+  reservoir percentiles) and cross-process snapshot merging;
 * :mod:`repro.obs.logging` — structured ``repro.*`` logger setup.
+
+Tier 2 — durable, comparable run telemetry built on tier 1:
+
+* :mod:`repro.obs.runlog` — the append-only JSONL run registry
+  (:class:`RunRecord` / :class:`RunLog`) plus the regression gate;
+* :mod:`repro.obs.congestion` — occupancy/crossover heatmaps read off
+  the incremental :class:`~repro.route.index.PlaneIndex`;
+* :mod:`repro.obs.report` — the self-contained HTML diagnostics report.
 """
 
+from .congestion import CongestionMap
 from .counters import Registry, get_registry, inc, observe, set_registry
 from .logging import add_log_argument, get_logger, setup_logging
+from .runlog import (
+    Regression,
+    RunLog,
+    RunRecord,
+    check_regressions,
+    diff_records,
+)
+from .report import render_html_report, write_html_report
 from .trace import (
     Span,
     Tracer,
@@ -21,18 +38,26 @@ from .trace import (
 )
 
 __all__ = [
+    "CongestionMap",
     "Registry",
+    "Regression",
+    "RunLog",
+    "RunRecord",
     "Span",
     "Tracer",
     "add_log_argument",
+    "check_regressions",
+    "diff_records",
     "enable_tracing",
     "get_logger",
     "get_registry",
     "get_tracer",
     "inc",
     "observe",
+    "render_html_report",
     "set_registry",
     "set_tracer",
     "setup_logging",
     "span",
+    "write_html_report",
 ]

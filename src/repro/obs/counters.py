@@ -12,18 +12,38 @@ the batch scheduler's process pool aggregate back into the parent run.
 
 from __future__ import annotations
 
+import math
+import random
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+#: Reservoir bound per histogram: enough for stable p95/p99 estimates
+#: while keeping worker->parent snapshots small.
+RESERVOIR_SIZE = 256
 
 
 @dataclass
 class Histogram:
-    """Streaming summary of an observed value (count/sum/min/max)."""
+    """Streaming summary of an observed value.
+
+    Exact count/sum/min/max plus a bounded reservoir sample for
+    percentile estimates (exact up to :data:`RESERVOIR_SIZE`
+    observations).  The reservoir travels in :meth:`as_dict` snapshots,
+    so p50/p95/p99 survive the cross-process merge the batch scheduler
+    does — not just count/sum/mean.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
+    samples: list[float] = field(default_factory=list)
+    #: How many values the reservoir has been offered (merge included);
+    #: drives algorithm-R replacement, seeded so runs are reproducible.
+    _seen: int = field(default=0, repr=False)
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(0x5EED), repr=False, compare=False
+    )
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -32,20 +52,45 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._sample(value)
+
+    def _sample(self, value: float) -> None:
+        self._seen += 1
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(value)
+        else:
+            j = self._rng.randrange(self._seen)
+            if j < RESERVOIR_SIZE:
+                self.samples[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate from the reservoir (q in 0..1)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        k = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+        return ordered[k]
+
     def as_dict(self) -> dict:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "samples": [],
+            }
         return {
             "count": self.count,
             "total": round(self.total, 6),
             "min": self.min,
             "max": self.max,
             "mean": round(self.mean, 6),
+            "p50": round(self.percentile(0.50), 6),
+            "p95": round(self.percentile(0.95), 6),
+            "p99": round(self.percentile(0.99), 6),
+            "samples": [round(v, 6) for v in self.samples],
         }
 
     def merge(self, data: "Histogram | dict") -> None:
@@ -58,6 +103,8 @@ class Histogram:
         self.total += float(data.get("total", 0.0))
         self.min = min(self.min, float(data.get("min", self.min)))
         self.max = max(self.max, float(data.get("max", self.max)))
+        for value in data.get("samples", ()):
+            self._sample(float(value))
 
 
 class Registry:
@@ -127,7 +174,8 @@ class Registry:
             h = snap["histograms"][name]
             lines.append(
                 f"{name:<{width}}  count={h['count']} mean={h['mean']:g} "
-                f"min={h['min']:g} max={h['max']:g}"
+                f"min={h['min']:g} max={h['max']:g} "
+                f"p50={h['p50']:g} p95={h['p95']:g} p99={h['p99']:g}"
             )
         return "\n".join(lines)
 

@@ -241,8 +241,25 @@ class Tracer:
 
     def write_chrome_trace(self, path: str | Path) -> Path:
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.chrome_trace(), indent=1))
         return path
+
+    def stage_totals(self) -> dict[str, dict]:
+        """Per-span-name wall-clock aggregate over the whole forest:
+        ``{name: {"seconds": total, "count": n}}`` — the flat form of the
+        profile tree that a :class:`~repro.obs.runlog.RunRecord` stores."""
+        totals: dict[str, dict] = {}
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            for s in root.walk():
+                agg = totals.setdefault(s.name, {"seconds": 0.0, "count": 0})
+                agg["seconds"] += s.duration
+                agg["count"] += 1
+        for agg in totals.values():
+            agg["seconds"] = round(agg["seconds"], 6)
+        return totals
 
     def profile_tree(self) -> str:
         """Plain-text time tree; same-named siblings are aggregated."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
+from typing import Iterable
 
 from ..core.diagram import Diagram
 
@@ -25,11 +26,15 @@ def render_svg(
     unit: int = 12,
     margin: int = 2,
     show_net_names: bool = False,
+    heat: Iterable[tuple[int, int, float]] | None = None,
 ) -> str:
     """Render the diagram as a standalone SVG document.
 
     ``unit`` is the pixel size of one grid unit; the y axis is flipped so
-    the schematic's up is the screen's up.
+    the schematic's up is the screen's up.  ``heat`` is an optional
+    congestion underlay — ``(x, y, intensity 0..1)`` grid cells (see
+    :meth:`repro.obs.congestion.CongestionMap.heat_cells`) drawn behind
+    the wires and modules.
     """
     bbox = diagram.bounding_box().expand(margin)
 
@@ -46,6 +51,17 @@ def render_svg(
         f'viewBox="0 0 {width} {height}" font-family="monospace">'
     )
     parts.append(f'<rect width="{width}" height="{height}" fill="#fdfcf8"/>')
+
+    # Congestion underlay sits beneath everything else.
+    if heat:
+        half = unit / 2
+        for hx, hy, intensity in heat:
+            opacity = 0.12 + 0.68 * max(0.0, min(1.0, intensity))
+            parts.append(
+                f'<rect x="{sx(hx) - half:.1f}" y="{sy(hy) - half:.1f}" '
+                f'width="{unit}" height="{unit}" fill="#d9534f" '
+                f'fill-opacity="{opacity:.2f}"/>'
+            )
 
     # Nets first so module bodies overdraw their touch points cleanly.
     for i, (name, route) in enumerate(sorted(diagram.routes.items())):

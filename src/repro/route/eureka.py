@@ -25,6 +25,7 @@ from ..core.diagram import Diagram, RoutedNet
 from ..core.geometry import Direction, Point, Side
 from ..core.netlist import Net, Pin
 from ..obs import counters, get_logger, span
+from ..obs.congestion import snapshot as congestion_snapshot
 from . import claimpoints
 from .line_expansion import (
     CostOrder,
@@ -125,6 +126,10 @@ class RoutingReport:
     claims_placed: int = 0
     seconds: float = 0.0
     search: SearchStats = field(default_factory=SearchStats)
+    #: Congestion snapshot read off the plane index when routing finished
+    #: (:meth:`repro.obs.congestion.CongestionMap.to_dict` shape) — this
+    #: is what makes congestion observable per run without a plane rescan.
+    congestion: dict = field(default_factory=dict)
 
     @property
     def success_rate(self) -> float:
@@ -235,6 +240,7 @@ def route_diagram(
         report.failed_nets = failed
         report.nets_failed = len(failed)
         report.nets_routed = report.nets_total - report.nets_failed
+        report.congestion = congestion_snapshot(plane)
         report.seconds = time.perf_counter() - started
         root_span.set(
             nets=report.nets_total,

@@ -34,6 +34,7 @@ from ..core.generator import generate
 from ..formats.escher import read_escher, write_escher
 from ..obs import get_logger, get_registry, get_tracer, span
 from ..obs.counters import Registry, set_registry
+from ..obs.runlog import RunLog, stages_from_spans
 from ..obs.trace import Tracer, set_tracer
 from .cache import ResultCache
 from .jobs import JobSpec
@@ -122,6 +123,7 @@ def execute_job(payload: dict) -> dict:
                 net: reason.value
                 for net, reason in result.routing.failure_reasons.items()
             },
+            "congestion": result.routing.congestion,
             "seconds": round(time.perf_counter() - started, 4),
             "trace": tracer.export_roots(),
             "counters": registry.snapshot(),
@@ -183,6 +185,9 @@ class BatchScheduler:
     #: Aggregate of every fresh job's worker-side counters, merged as the
     #: outcomes land (cache hits contribute nothing — no work was done).
     counters: Registry = field(default_factory=Registry)
+    #: When set, the parent appends one RunRecord per job as outcomes
+    #: land (the workers never touch the registry file themselves).
+    runlog: RunLog | None = None
 
     #: Payload keys that describe *how* a run went, not *what* it made —
     #: merged into the parent's telemetry on arrival and kept out of the
@@ -261,17 +266,44 @@ class BatchScheduler:
         worker spans are re-parented into the live trace, worker counters
         merge into both the scheduler's and the global registry."""
         registry = get_registry()
+        payload = outcome.payload or {}
+        job_wall = float(payload.get("seconds", 0.0) or 0.0)
         for reg in (self.counters, registry):
             reg.inc("service.jobs")
             reg.inc(f"service.status.{outcome.status}")
             reg.inc(
                 "service.cache_hits" if outcome.from_cache else "service.cache_misses"
             )
-        payload = outcome.payload or {}
+            if not outcome.from_cache:
+                # Job wall time as a histogram so percentiles land in the
+                # run registry, not just the human-readable report dict.
+                reg.observe("service.job_wall_s", job_wall)
         worker_counters = payload.get("counters")
         if worker_counters and not outcome.from_cache:
             self.counters.merge(worker_counters)
             registry.merge(worker_counters)
+        if self.runlog is not None:
+            self.runlog.record(
+                kind="job",
+                name=outcome.spec.name,
+                wall_seconds=job_wall,
+                spec_digest=outcome.spec.digest,
+                stages=stages_from_spans(payload.get("trace") or []),
+                counters=worker_counters or {"counters": {}, "histograms": {}},
+                metrics=outcome.metrics,
+                failures={
+                    net: {"reason": reason}
+                    for net, reason in outcome.failure_reasons.items()
+                },
+                congestion=dict(payload.get("congestion", {}) or {}),
+                profile="",
+                extra={
+                    "status": outcome.status,
+                    "from_cache": outcome.from_cache,
+                    "attempts": outcome.attempts,
+                    "error": outcome.error or "",
+                },
+            )
         tracer = get_tracer()
         if tracer.enabled:
             job_label = f"job:{outcome.spec.name}"

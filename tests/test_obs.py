@@ -468,3 +468,204 @@ class TestCliObservability:
         )
         assert rc == 0
         assert logging.getLogger("repro").level == logging.DEBUG
+
+
+class TestHistogramPercentiles:
+    def test_exact_below_reservoir_bound(self):
+        from repro.obs.counters import Histogram
+
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(0.50) == 50.0
+        assert hist.percentile(0.95) == 95.0
+        assert hist.percentile(0.99) == 99.0
+        snap = hist.as_dict()
+        assert snap["p50"] == 50.0 and snap["p95"] == 95.0 and snap["p99"] == 99.0
+        assert len(snap["samples"]) == 100
+
+    def test_percentiles_survive_merge(self):
+        from repro.obs.counters import Histogram
+
+        a, b = Histogram(), Histogram()
+        for v in range(1, 51):
+            a.observe(float(v))
+        for v in range(51, 101):
+            b.observe(float(v))
+        a.merge(b.as_dict())
+        # 100 samples total, still under the reservoir bound: exact.
+        assert a.count == 100
+        assert a.percentile(0.50) == 50.0
+        assert a.percentile(0.95) == 95.0
+
+    def test_reservoir_bounds_memory(self):
+        from repro.obs.counters import RESERVOIR_SIZE, Histogram
+
+        hist = Histogram()
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert len(hist.samples) == RESERVOIR_SIZE
+        assert hist.count == 10_000
+        # The estimate stays in the observed range and roughly central.
+        assert 2_000 < hist.percentile(0.50) < 8_000
+
+    def test_empty_histogram_snapshot(self):
+        from repro.obs.counters import Histogram
+
+        snap = Histogram().as_dict()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0 and snap["p99"] == 0.0
+
+    def test_report_shows_percentiles(self, registry):
+        registry.observe("lat", 1.0)
+        registry.observe("lat", 3.0)
+        text = registry.report()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+
+class TestCongestionMap:
+    def _crossing_plane(self):
+        from repro.core.geometry import Point, Rect
+        from repro.route.plane import Plane
+
+        plane = Plane(bounds=Rect(0, 0, 10, 10))
+        plane.add_net_path("h", [Point(0, 5), Point(10, 5)])
+        plane.add_net_path("v", [Point(5, 0), Point(5, 10)])
+        return plane
+
+    def test_totals_match_live_index(self):
+        from repro.obs.congestion import CongestionMap
+
+        plane = self._crossing_plane()
+        cmap = CongestionMap.from_plane(plane)
+        assert cmap.occupancy_total == sum(plane.index.occ.values())
+        assert cmap.cells[(5, 5)] == (2, 1)  # the crossing point
+        assert cmap.crossover_total == 1
+        assert cmap.max_occupancy == 2
+        assert cmap.hotspots(1) == [(5, 5, 2, 1)]
+        # Track totals: row y=5 holds the horizontal wire + the crossing.
+        assert cmap.row_totals()[5] == 12
+        assert cmap.col_totals()[5] == 12
+
+    def test_dict_round_trip(self):
+        from repro.obs.congestion import CongestionMap
+
+        cmap = CongestionMap.from_plane(self._crossing_plane())
+        data = cmap.to_dict()
+        again = CongestionMap.from_dict(json.loads(json.dumps(data)))
+        assert again.cells == cmap.cells
+        assert (again.x, again.y, again.w, again.h) == (cmap.x, cmap.y, cmap.w, cmap.h)
+        assert data["crossover_total"] == again.crossover_total
+
+    def test_heat_cells_normalized(self):
+        from repro.obs.congestion import CongestionMap
+
+        cells = CongestionMap.from_plane(self._crossing_plane()).heat_cells()
+        assert cells
+        assert all(0.0 < i <= 1.0 for _, _, i in cells)
+        by_point = {(x, y): i for x, y, i in cells}
+        assert by_point[(5, 5)] == 1.0  # the peak saturates
+
+    def test_svg_marks_crossovers(self):
+        from repro.obs.congestion import CongestionMap
+
+        svg = CongestionMap.from_plane(self._crossing_plane()).to_svg()
+        assert svg.startswith("<svg")
+        assert "occ=2 cross=1" in svg
+        assert "<circle" in svg  # crossover ring
+
+    def test_empty_map(self):
+        from repro.obs.congestion import CongestionMap
+
+        cmap = CongestionMap()
+        assert cmap.occupancy_total == 0
+        assert cmap.max_occupancy == 0
+        assert cmap.heat_cells() == []
+        assert "<svg" in cmap.to_svg()
+
+    def test_routed_report_agrees_with_metrics(self, tracer, registry):
+        from repro.obs.congestion import CongestionMap
+
+        result = generate(example1_string())
+        cmap = CongestionMap.from_dict(result.routing.congestion)
+        assert cmap.crossover_total == result.metrics.as_row()["crossovers"]
+        assert cmap.occupancy_total > 0 and cmap.max_occupancy >= 1
+
+
+class TestTraceFileHandling:
+    @pytest.fixture
+    def network_files(self, tmp_path):
+        from repro.formats.netlist_files import save_network_files
+
+        return save_network_files(example1_string(), tmp_path)
+
+    def _net_args(self, paths):
+        return [str(paths["netlist"]), str(paths["call"]), str(paths["io"])]
+
+    def test_trace_creates_parent_dirs(self, tmp_path, network_files, registry):
+        from repro.cli import pablo_main
+
+        trace_file = tmp_path / "deep" / "nested" / "trace.json"
+        rc = pablo_main(
+            self._net_args(network_files)
+            + ["-o", str(tmp_path / "p.es"), "--trace", str(trace_file)]
+        )
+        assert rc == 0
+        assert trace_file.exists()
+
+    def test_trace_written_when_input_is_bad(self, tmp_path, capsys, registry):
+        from repro.cli import pablo_main
+
+        trace_file = tmp_path / "aborted" / "trace.json"
+        rc = pablo_main(
+            [
+                str(tmp_path / "missing.net"),
+                str(tmp_path / "missing.call"),
+                "--trace",
+                str(trace_file),
+            ]
+        )
+        assert rc == 2  # usage error, not a traceback...
+        assert "error:" in capsys.readouterr().err
+        assert trace_file.exists()  # ...and the partial trace survived
+
+    def test_trace_written_when_pipeline_aborts(
+        self, tmp_path, network_files, capsys, monkeypatch, registry
+    ):
+        import repro.cli as cli_mod
+        from repro.core.diagram import DiagramError
+
+        placed = tmp_path / "placed.es"
+        assert (
+            cli_mod.pablo_main(
+                self._net_args(network_files) + ["-p", "7", "-b", "7", "-o", str(placed)]
+            )
+            == 0
+        )
+
+        def explode(*_args, **_kwargs):
+            raise DiagramError("mid-route inconsistency")
+
+        monkeypatch.setattr(cli_mod, "route_diagram", explode)
+        trace_file = tmp_path / "abort2" / "trace.json"
+        rc = cli_mod.eureka_main(
+            [str(placed)]
+            + self._net_args(network_files)
+            + ["-o", str(tmp_path / "r.es"), "--trace", str(trace_file)]
+        )
+        assert rc == 2
+        assert "mid-route inconsistency" in capsys.readouterr().err
+        data = json.loads(trace_file.read_text())
+        assert "traceEvents" in data  # the trace file was still flushed
+
+    def test_unwritable_trace_is_usage_error(self, tmp_path, network_files, capsys):
+        from repro.cli import pablo_main
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        rc = pablo_main(
+            self._net_args(network_files)
+            + ["-o", str(tmp_path / "p.es"), "--trace", str(blocker / "t.json")]
+        )
+        assert rc == 2
+        assert "cannot write trace" in capsys.readouterr().err
