@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``artwork-serve`` (the CI serve-smoke job).
+
+Starts the daemon as a real subprocess, submits the counter example over
+HTTP, streams its WebSocket progress events, checks ``/healthz`` and
+``/metrics``, then drains the daemon with SIGTERM and verifies it exited
+cleanly.  Exit code 0 = all good; diagnostics go to stdout.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--runlog PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.formats.library import ModuleLibrary  # noqa: E402
+from repro.formats.netlist_files import load_network_files  # noqa: E402
+from repro.gateway.protocol import HttpClient, WebSocketClient  # noqa: E402
+from repro.service.jobs import JobSpec  # noqa: E402
+
+
+def fail(message: str) -> "SystemExit":
+    return SystemExit(f"serve-smoke: FAIL: {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runlog", default="serve-smoke-runlog.jsonl")
+    args = parser.parse_args()
+
+    counter = REPO / "examples" / "counter"
+    network = load_network_files(
+        counter / "counter.net",
+        counter / "counter.call",
+        counter / "counter.io",
+        library=ModuleLibrary.standard(),
+    )
+    spec = JobSpec.from_network(network, name="counter")
+
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.cli import artwork_serve_main; "
+            f"sys.exit(artwork_serve_main(['--port', '0', '--workers', '2', "
+            f"'--runlog', {args.runlog!r}]))",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = daemon.stdout.readline()
+        if "listening" not in banner:
+            raise fail(f"daemon did not come up: {banner!r}")
+        port = int(banner.rsplit(":", 1)[1].split()[0])
+        print(f"serve-smoke: daemon on port {port}")
+
+        with HttpClient("127.0.0.1", port) as client:
+            posted = client.post("/v1/jobs", spec.to_dict())
+            if posted.status != 202:
+                raise fail(f"submit got {posted.status}: {posted.body!r}")
+            job_id = posted.json()["id"]
+            print(f"serve-smoke: submitted {job_id}")
+
+            with WebSocketClient(
+                "127.0.0.1", port, f"/v1/jobs/{job_id}/events"
+            ) as ws:
+                events = []
+                while True:
+                    event = ws.recv_json()
+                    if event is None:
+                        break
+                    events.append(event["event"])
+            print(f"serve-smoke: events {events}")
+            if events[0] != "queued" or events[-1] != "done":
+                raise fail(f"unexpected event stream: {events}")
+
+            final = client.get(f"/v1/jobs/{job_id}?wait=60").json()
+            if final["status"] != "ok":
+                raise fail(f"job finished {final['status']}: {final.get('error')}")
+            print(
+                f"serve-smoke: job ok in {final['seconds']}s, "
+                f"{final['metrics'].get('routed')}/{final['metrics'].get('nets')} "
+                "nets routed"
+            )
+
+            svg = client.get(f"/v1/jobs/{job_id}/svg")
+            if svg.status != 200 or not svg.body.startswith(b"<svg"):
+                raise fail(f"svg endpoint broken: {svg.status}")
+
+            health = client.get("/healthz").json()
+            if health["status"] != "ok" or health["pool"]["alive"] != 2:
+                raise fail(f"unhealthy: {health}")
+            print(f"serve-smoke: healthz ok, {health['pool']['alive']} workers")
+
+            metrics = client.get("/metrics").body.decode()
+            for needle in (
+                "repro_service_jobs 1",
+                'repro_service_job_wall_s{quantile="0.5"}',
+                "repro_gateway_workers_alive 2",
+            ):
+                if needle not in metrics:
+                    raise fail(f"/metrics missing {needle!r}")
+            print("serve-smoke: metrics exposition ok")
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=30)
+        if daemon.returncode != 0:
+            raise fail(f"drain exited {daemon.returncode}: {out}")
+        if "stopped" not in out:
+            raise fail(f"no graceful stop marker in: {out}")
+        print("serve-smoke: drained cleanly")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate()
+
+    if not Path(args.runlog).exists():
+        raise fail("daemon wrote no runlog")
+    print(f"serve-smoke: OK (runlog at {args.runlog})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

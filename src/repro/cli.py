@@ -8,10 +8,17 @@ The first four mirror the paper's programs (Appendices B, E and F):
 * ``quinto``  — add a module description to a library directory,
 * ``artwork`` — the whole pipeline: network files in, SVG/ESCHER out.
 
-``artwork-batch`` runs the pipeline as a service over a JSON manifest of
+``artwork-batch`` runs the pipeline as a service over JSON manifests of
 many networks (file triples and/or a generated workload), fanning jobs
 across a process pool with a content-addressed result cache, and emits
 per-job SVG/ESCHER outputs plus an aggregate Table-6.1-style report.
+With ``--keep-warm`` the pool is forked once and reused across
+manifests; tiny batches short-circuit to an in-process serial path.
+
+``artwork-serve`` keeps the whole pipeline resident: a stdlib asyncio
+HTTP + WebSocket gateway (:mod:`repro.gateway`) over the same warm
+worker pool, with auth, rate limiting, Prometheus metrics and graceful
+drain.
 
 All commands exit 0 on success, 1 when some nets stayed unroutable (or a
 batch job failed), and 2 on load/validation errors.
@@ -487,13 +494,29 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
         prog="artwork-batch", description=artwork_batch_main.__doc__
     )
     _version_arg(parser)
-    parser.add_argument("manifest", help="JSON manifest (jobs and/or workload)")
+    parser.add_argument(
+        "manifest", nargs="+", help="JSON manifest(s) (jobs and/or workload)"
+    )
     parser.add_argument("-o", "--out", default="batch_out", help="output directory")
     parser.add_argument(
         "--workers", type=int, default=os.cpu_count() or 1, help="process pool size"
     )
     parser.add_argument(
         "--timeout", type=float, default=None, help="per-job wall-clock budget (s)"
+    )
+    parser.add_argument(
+        "--keep-warm",
+        action="store_true",
+        help="fork the worker pool once and reuse it across manifests "
+        "(eliminates the per-batch import/spawn cold start)",
+    )
+    parser.add_argument(
+        "--serial-threshold",
+        type=float,
+        default=0.03,
+        metavar="SECONDS",
+        help="run batches serially in-process when a probe job beats this "
+        "budget (0 disables; ignored with --keep-warm)",
     )
     parser.add_argument(
         "--cache", default=None, help="result cache directory (default: OUT/cache)"
@@ -514,15 +537,19 @@ def _artwork_batch_body(argv: list[str] | None) -> int:
         _obs_end(args, tracer)
 
 
-def _artwork_batch_run(args: argparse.Namespace) -> int:
-    manifest_path = Path(args.manifest)
+def _load_manifest_specs(manifest_path: Path) -> list[JobSpec]:
     try:
         manifest = json.loads(manifest_path.read_text())
     except OSError as exc:
         raise _fail(f"cannot read manifest: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise _fail(f"manifest is not valid JSON: {exc}") from exc
-    specs = _manifest_specs(manifest, manifest_path.parent)
+    return _manifest_specs(manifest, manifest_path.parent)
+
+
+def _artwork_batch_run(args: argparse.Namespace) -> int:
+    manifest_paths = [Path(m) for m in args.manifest]
+    all_specs = [_load_manifest_specs(p) for p in manifest_paths]
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -547,12 +574,34 @@ def _artwork_batch_run(args: argparse.Namespace) -> int:
     import time as _time
 
     runlog = _runlog_for(args)
+    pool = None
+    if args.keep_warm:
+        # Fork the fleet once, warm imports and all; every manifest then
+        # dispatches onto the same resident workers.
+        from .gateway.pool import WorkerPool
+
+        pool = WorkerPool(args.workers, timeout=args.timeout)
+        pool.start()
     scheduler = BatchScheduler(
-        max_workers=args.workers, timeout=args.timeout, cache=cache, runlog=runlog
+        max_workers=args.workers,
+        timeout=args.timeout,
+        cache=cache,
+        runlog=runlog,
+        pool=pool,
+        serial_threshold=args.serial_threshold or None,
     )
     started = _time.perf_counter()
-    outcomes = scheduler.run(specs, progress=progress)
+    try:
+        outcomes = []
+        for manifest_path, specs in zip(manifest_paths, all_specs):
+            if len(manifest_paths) > 1 and not args.quiet:
+                print(f"== manifest {manifest_path} ({len(specs)} jobs)")
+            outcomes.extend(scheduler.run(specs, progress=progress))
+    finally:
+        if pool is not None:
+            pool.close()
     wall = _time.perf_counter() - started
+    manifest_path = manifest_paths[0]
 
     rows = []
     bad = 0
@@ -625,6 +674,124 @@ def _artwork_batch_run(args: argparse.Namespace) -> int:
             f"(+{len(outcomes)} job records) -> {args.runlog}"
         )
     return 0 if bad == 0 else 1
+
+
+# -- artwork-serve: the persistent gateway daemon --------------------------
+
+
+def artwork_serve_main(argv: list[str] | None = None) -> int:
+    """Persistent artwork daemon: an HTTP + WebSocket gateway over a pool
+    of forked-once workers with warm imports, so a job pays milliseconds
+    of pipeline instead of a process cold start.  Submit ``JobSpec`` JSON
+    to ``POST /v1/jobs``; stream progress from ``/v1/jobs/{id}/events``;
+    scrape ``/metrics``; SIGTERM drains gracefully."""
+    return _run_guarded(_artwork_serve_body, argv)
+
+
+def _artwork_serve_body(argv: list[str] | None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="artwork-serve", description=artwork_serve_main.__doc__
+    )
+    _version_arg(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8571, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=os.cpu_count() or 1, help="worker pool size"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0, help="per-job wall-clock budget (s)"
+    )
+    parser.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        help="accepted API token (repeatable; default: $ARTWORK_SERVE_TOKEN, "
+        "no tokens = open access)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="per-client request rate limit in requests/s (0 = unlimited)",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=20, help="rate-limit burst capacity"
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="queued jobs before submissions get 503",
+    )
+    parser.add_argument(
+        "--cache", default=None, help="result cache directory (omit to disable)"
+    )
+    parser.add_argument(
+        "--max-cache-entries", type=int, default=None, help="LRU bound on the cache"
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds to let in-flight jobs finish on shutdown",
+    )
+    _obs_args(parser)
+    args = parser.parse_args(argv)
+    tracer = _obs_begin(args)
+    try:
+        return _artwork_serve_run(args)
+    finally:
+        _obs_end(args, tracer)
+
+
+def _artwork_serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal as _signal
+
+    from .gateway import ArtworkGateway, GatewayConfig, RateLimiter, TokenAuth
+
+    if args.workers < 1:
+        raise _fail("--workers must be at least 1")
+    auth = TokenAuth(args.token) if args.token else TokenAuth.from_env()
+    limiter = RateLimiter(args.rate, args.burst) if args.rate > 0 else None
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache, max_entries=args.max_cache_entries)
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_timeout=args.timeout or None,
+        auth=auth,
+        rate_limit=limiter,
+        max_queue=args.max_queue,
+        cache=cache,
+        runlog=_runlog_for(args),
+        drain_grace=args.drain_grace,
+    )
+
+    async def main() -> None:
+        gateway = ArtworkGateway(config)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await gateway.start()
+        print(
+            f"artwork-serve listening on http://{config.host}:{gateway.port} "
+            f"({config.workers} workers, auth "
+            f"{'on' if auth.enabled else 'off'})",
+            flush=True,
+        )
+        await stop.wait()
+        print("artwork-serve: draining (SIGTERM/SIGINT)", flush=True)
+        await gateway.stop(drain=True)
+        print("artwork-serve: stopped", flush=True)
+
+    asyncio.run(main())
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

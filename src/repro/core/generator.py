@@ -8,7 +8,7 @@ quality metrics the experiments tabulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..obs import span
 from ..place.pablo import PabloOptions, PlacementReport, place_network
@@ -53,16 +53,23 @@ def generate(
     runlog: "RunLog | None" = None,
     run_name: str | None = None,
     run_kind: str = "artwork",
+    progress: Callable[[str], None] | None = None,
 ) -> GenerationResult:
     """Run placement then routing on a network description.
 
     With ``runlog`` set, the run appends a :class:`~repro.obs.runlog.
     RunRecord` (stage timings, counters, quality metrics, failure
     reasons, congestion heatmap) to that registry before returning.
+    ``progress`` is called with the stage name ("placement", "routing")
+    as each phase begins — the gateway streams these over WebSockets.
     """
     with span("artwork.generate", network=network.name) as root:
         network.validate()
+        if progress is not None:
+            progress("placement")
         diagram, placement_report = place_network(network, pablo, preplaced=preplaced)
+        if progress is not None:
+            progress("routing")
         routing_report = route_diagram(diagram, eureka)
         root.set(
             modules=len(network.modules),

@@ -1,0 +1,46 @@
+"""``repro.gateway`` — serving artwork from a warm process.
+
+The batch pipeline (:mod:`repro.service`) pays Python's import +
+process-spawn tax on every invocation; for the sub-30ms jobs this
+pipeline produces, that tax dominates wall time.  This package keeps a
+pool of forked workers resident — imports warm, caches attached — and
+puts a small stdlib-only asyncio HTTP/WebSocket front end over it:
+
+* :mod:`repro.gateway.pool` — the persistent :class:`WorkerPool`
+  (fork once, dispatch many; crash isolation, per-job timeouts,
+  graceful drain).  Also reusable without the server, e.g. by
+  ``artwork-batch --keep-warm``.
+* :mod:`repro.gateway.protocol` — minimal HTTP/1.1 + RFC 6455
+  WebSocket framing, plus the blocking test/bench clients.
+* :mod:`repro.gateway.auth` / :mod:`repro.gateway.rate_limit` —
+  bearer-token auth and per-client token buckets.
+* :mod:`repro.gateway.server` — :class:`ArtworkGateway`, the daemon
+  behind the ``artwork-serve`` CLI.
+"""
+
+from .auth import TokenAuth
+from .pool import PoolClosedError, WorkerPool
+from .protocol import HttpClient, HttpResponse, ProtocolError, WebSocketClient
+from .rate_limit import RateLimiter, TokenBucket
+from .server import (
+    ArtworkGateway,
+    GatewayConfig,
+    GatewayHandle,
+    start_gateway,
+)
+
+__all__ = [
+    "ArtworkGateway",
+    "GatewayConfig",
+    "GatewayHandle",
+    "HttpClient",
+    "HttpResponse",
+    "PoolClosedError",
+    "ProtocolError",
+    "RateLimiter",
+    "TokenAuth",
+    "TokenBucket",
+    "WebSocketClient",
+    "WorkerPool",
+    "start_gateway",
+]

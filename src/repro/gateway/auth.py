@@ -1,0 +1,60 @@
+"""Bearer-token authentication for the gateway.
+
+Deliberately simple: a static token set checked with constant-time
+comparison.  Tokens arrive either as ``Authorization: Bearer <token>``
+or ``X-API-Key: <token>``.  When no tokens are configured the gateway
+is open (the default for local/CI use); ``/healthz`` and ``/metrics``
+are always unauthenticated so probes and scrapers keep working during
+credential rotation.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+from typing import Iterable
+
+
+class TokenAuth:
+    """Static-token authorizer (empty token set == auth disabled)."""
+
+    #: Environment variable ``artwork-serve`` reads a token from by default.
+    ENV_VAR = "ARTWORK_SERVE_TOKEN"
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self.tokens = tuple(t for t in tokens if t)
+
+    @classmethod
+    def from_env(cls, var: str | None = None) -> "TokenAuth":
+        value = os.environ.get(var or cls.ENV_VAR, "")
+        return cls([value] if value else [])
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.tokens)
+
+    def presented_token(self, headers: dict[str, str]) -> str | None:
+        """Extract the credential from parsed (lower-cased) headers."""
+        authorization = headers.get("authorization", "")
+        scheme, _sep, value = authorization.partition(" ")
+        if scheme.lower() == "bearer" and value.strip():
+            return value.strip()
+        return headers.get("x-api-key") or None
+
+    def authorize(self, headers: dict[str, str], query_token: str | None = None) -> bool:
+        """True when the request may proceed (always, if auth is off).
+
+        ``query_token`` is the ``?token=`` escape hatch for WebSocket
+        clients that cannot set an ``Authorization`` header.
+        """
+        if not self.enabled:
+            return True
+        presented = self.presented_token(headers) or query_token
+        if presented is None:
+            return False
+        # Compare against every token so timing never reveals which
+        # (if any) prefix-matched.
+        ok = False
+        for token in self.tokens:
+            ok |= hmac.compare_digest(presented, token)
+        return ok

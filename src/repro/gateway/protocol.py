@@ -1,0 +1,440 @@
+"""Minimal HTTP/1.1 and RFC 6455 WebSocket wire layer (stdlib only).
+
+The gateway deliberately avoids web-framework dependencies: this module
+is the whole wire protocol — an asyncio-streams HTTP/1.1 request reader
+with keep-alive, a response serializer, and the WebSocket handshake and
+frame codec shared by the async server side and the small synchronous
+client (:class:`HttpClient` / :class:`WebSocketClient`) the tests,
+benchmarks and CI smoke job drive the daemon with.
+
+Scope is intentionally narrow: ``Content-Length`` bodies only (chunked
+uploads are answered with 501), a bounded header block and body, and
+text WebSocket frames with masking per the RFC (client frames masked,
+server frames not).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import socket
+import struct
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bounds keeping one bad client from ballooning gateway memory.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: RFC 6455 handshake GUID.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: WebSocket opcodes we speak.
+OP_TEXT, OP_CLOSE, OP_PING, OP_PONG = 0x1, 0x8, 0x9, 0xA
+
+REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed request/frame; carries the HTTP status to answer with."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request (headers lower-cased, query already decoded)."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        conn = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return "close" not in conn
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade" in self.headers.get("connection", "").lower()
+        )
+
+    def json(self) -> dict:
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ProtocolError("JSON body must be an object")
+        return data
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+) -> HTTPRequest | None:
+    """Read one request off the stream; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("header block too large", 413) from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError("header block too large", 413)
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked uploads not supported", 501)
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise ProtocolError("bad Content-Length") from exc
+        if length < 0:
+            raise ProtocolError("bad Content-Length")
+        if length > max_body:
+            raise ProtocolError("body too large", 413)
+        body = await reader.readexactly(length)
+    split = urlsplit(target)
+    return HTTPRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        query={k: v for k, v in parse_qsl(split.query)},
+        headers=headers,
+        body=body,
+        version=version,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes | str = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (always with Content-Length)."""
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    out_headers = {
+        "content-type": content_type,
+        "content-length": str(len(body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    out_headers.update({k.lower(): str(v) for k, v in (headers or {}).items()})
+    lines.extend(f"{name}: {value}" for name, value in out_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(data: dict | list, *, indent: int | None = None) -> bytes:
+    return json.dumps(data, indent=indent, sort_keys=False).encode("utf-8")
+
+
+# -- WebSocket framing (shared by server and test client) -------------------
+
+
+def ws_accept_key(client_key: str) -> str:
+    digest = hashlib.sha1((client_key + WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def ws_handshake_response(request: HTTPRequest) -> bytes:
+    key = request.headers.get("sec-websocket-key")
+    if not key or request.headers.get("sec-websocket-version") != "13":
+        raise ProtocolError("bad websocket handshake")
+    head = (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "upgrade: websocket\r\n"
+        "connection: Upgrade\r\n"
+        f"sec-websocket-accept: {ws_accept_key(key)}\r\n\r\n"
+    )
+    return head.encode("latin-1")
+
+
+def ws_encode_frame(payload: bytes, *, opcode: int = OP_TEXT, mask: bool = False) -> bytes:
+    """One FIN frame.  Clients must mask (RFC 6455 §5.3); servers must not."""
+    head = bytearray([0x80 | opcode])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        head += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def _ws_parse_head(two: bytes) -> tuple[int, bool, int]:
+    opcode = two[0] & 0x0F
+    if not two[0] & 0x80:
+        raise ProtocolError("fragmented websocket frames not supported")
+    return opcode, bool(two[1] & 0x80), two[1] & 0x7F
+
+
+async def ws_read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one frame; returns ``(opcode, unmasked payload)``."""
+    opcode, masked, length = _ws_parse_head(await reader.readexactly(2))
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError("websocket frame too large", 413)
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length)
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload
+
+
+# -- synchronous clients (tests, benchmarks, CI smoke) ----------------------
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class HttpClient:
+    """Tiny keep-alive HTTP/1.1 client over a plain socket.
+
+    Exists so the benchmarks measure the daemon, not a client library:
+    one persistent connection, no redirects, no TLS.
+    """
+
+    def __init__(self, host: str, port: int, *, token: str | None = None, timeout: float = 30.0):
+        self.host, self.port, self.token, self.timeout = host, port, token, timeout
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | bytes | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        payload = b""
+        send_headers = {"host": f"{self.host}:{self.port}"}
+        if self.token:
+            send_headers["authorization"] = f"Bearer {self.token}"
+        if body is not None:
+            payload = json_body(body) if isinstance(body, dict) else body
+            send_headers["content-type"] = "application/json"
+        send_headers["content-length"] = str(len(payload))
+        send_headers.update({k.lower(): v for k, v in (headers or {}).items()})
+        head = f"{method} {path} HTTP/1.1\r\n" + "".join(
+            f"{k}: {v}\r\n" for k, v in send_headers.items()
+        )
+        message = head.encode("latin-1") + b"\r\n" + payload
+        try:
+            sock = self._connect()
+            sock.sendall(message)
+            return self._read_response(sock)
+        except (BrokenPipeError, ConnectionResetError):
+            # The server timed the idle keep-alive connection out; retry
+            # exactly once on a fresh socket.
+            self.close()
+            sock = self._connect()
+            sock.sendall(message)
+            return self._read_response(sock)
+
+    def get(self, path: str, **kw) -> HttpResponse:
+        return self.request("GET", path, **kw)
+
+    def post(self, path: str, body: dict | bytes, **kw) -> HttpResponse:
+        return self.request("POST", path, body, **kw)
+
+    def _read_until(self, sock: socket.socket, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed mid-response")
+            self._buffer += chunk
+        head, self._buffer = self._buffer.split(marker, 1)
+        return head
+
+    def _read_exactly(self, sock: socket.socket, n: int) -> bytes:
+        while len(self._buffer) < n:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed mid-body")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    def _read_response(self, sock: socket.socket) -> HttpResponse:
+        head = self._read_until(sock, b"\r\n\r\n").decode("latin-1")
+        lines = head.split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = self._read_exactly(sock, int(headers.get("content-length", "0")))
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return HttpResponse(status=status, headers=headers, body=body)
+
+
+class WebSocketClient:
+    """Synchronous WebSocket client for the ``/events`` endpoints."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        path: str,
+        *,
+        token: str | None = None,
+        timeout: float = 30.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        auth = f"authorization: Bearer {token}\r\n" if token else ""
+        self._sock.sendall(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"host: {host}:{port}\r\n"
+                "upgrade: websocket\r\n"
+                "connection: Upgrade\r\n"
+                f"sec-websocket-key: {key}\r\n"
+                "sec-websocket-version: 13\r\n" + auth + "\r\n"
+            ).encode("latin-1")
+        )
+        self._buffer = b""
+        head = self._read_until(b"\r\n\r\n").decode("latin-1")
+        self.status = int(head.split("\r\n")[0].split(" ")[1])
+        if self.status == 101:
+            accept = [
+                line.partition(":")[2].strip()
+                for line in head.split("\r\n")
+                if line.lower().startswith("sec-websocket-accept")
+            ]
+            if accept != [ws_accept_key(key)]:
+                raise ProtocolError("bad handshake accept key")
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed during handshake")
+            self._buffer += chunk
+        head, self._buffer = self._buffer.split(marker, 1)
+        return head
+
+    def _read_exactly(self, n: int) -> bytes:
+        while len(self._buffer) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionResetError("server closed mid-frame")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    def recv(self) -> tuple[int, bytes]:
+        """Next frame as ``(opcode, payload)`` (pongs handled here)."""
+        while True:
+            opcode, masked, length = _ws_parse_head(self._read_exactly(2))
+            if length == 126:
+                (length,) = struct.unpack(">H", self._read_exactly(2))
+            elif length == 127:
+                (length,) = struct.unpack(">Q", self._read_exactly(8))
+            payload = self._read_exactly(length)
+            if masked:  # servers must not mask; tolerate anyway
+                key, payload = payload[:4], payload[4:]
+                payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+            if opcode == OP_PING:
+                self._sock.sendall(ws_encode_frame(payload, opcode=OP_PONG, mask=True))
+                continue
+            return opcode, payload
+
+    def recv_json(self) -> dict | None:
+        """Next text frame as JSON, or ``None`` when the server closed."""
+        opcode, payload = self.recv()
+        if opcode == OP_CLOSE:
+            return None
+        return json.loads(payload.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(ws_encode_frame(b"", opcode=OP_CLOSE, mask=True))
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "WebSocketClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,84 @@
+"""Token-bucket rate limiting for the gateway's ``/v1`` API.
+
+One bucket per client key (the auth token when presented, else the
+peer address): ``burst`` tokens of capacity refilled at ``rate`` tokens
+per second.  A rejected request learns exactly how long to back off —
+the limiter returns the seconds until a token exists again, which the
+server surfaces as a ``Retry-After`` header on the 429.
+
+The clock is injectable so tests drive the refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Buckets tracked before the least-recently-seen clients are dropped
+#: (a dropped client simply starts over with a full burst).
+MAX_CLIENTS = 4096
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: capacity ``burst``, refill ``rate``/s."""
+
+    rate: float
+    burst: float
+    tokens: float
+    updated: float
+
+    def take(self, now: float) -> float:
+        """Consume one token; 0.0 when allowed, else seconds to wait."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate if self.rate > 0 else float("inf")
+
+
+class RateLimiter:
+    """Per-client token buckets behind one lock (requests are cheap)."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive (omit the limiter to disable)")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self.allowed = 0
+        self.rejected = 0
+
+    def check(self, key: str) -> float:
+        """0.0 when the request may proceed; else the retry-after seconds."""
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.pop(key, None)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, self.burst, now)
+            # Re-insert (at dict tail) so iteration order is LRU-ish and
+            # pruning drops the coldest clients first.
+            self._buckets[key] = bucket
+            if len(self._buckets) > MAX_CLIENTS:
+                for stale in list(self._buckets)[: len(self._buckets) - MAX_CLIENTS]:
+                    del self._buckets[stale]
+            wait = bucket.take(now)
+            if wait > 0.0:
+                self.rejected += 1
+            else:
+                self.allowed += 1
+            return wait

@@ -1,0 +1,793 @@
+"""``artwork-serve``: the persistent asyncio gateway over a warm pool.
+
+One process, two planes:
+
+* the **asyncio plane** (this module) — an HTTP/1.1 + WebSocket front
+  end built on :mod:`repro.gateway.protocol`, owning the job table,
+  auth, rate limiting, backpressure and the observability endpoints;
+* the **worker plane** — a :class:`~repro.gateway.pool.WorkerPool` of
+  forked-once processes that keep ``repro`` imports warm and execute
+  :func:`~repro.service.scheduler.execute_job` payloads.
+
+Endpoints::
+
+    POST /v1/jobs             submit a JobSpec JSON -> {"id": ...}
+                              (content-digest dedup against the result
+                              cache and against in-flight jobs)
+    GET  /v1/jobs             recent jobs, newest first
+    GET  /v1/jobs/{id}        status + metrics row (?wait=SECONDS to
+                              long-poll for completion)
+    GET  /v1/jobs/{id}/result full payload (ESCHER text included)
+    GET  /v1/jobs/{id}/svg    rendered artwork (image/svg+xml)
+    WS   /v1/jobs/{id}/events streamed progress: queued -> running ->
+                              stage:placement -> stage:routing -> done
+    GET  /healthz             worker liveness + queue depth (always open)
+    GET  /metrics             Prometheus text from the obs registry
+
+Completed jobs are folded into the obs registry exactly like the batch
+scheduler does (worker counters merged, ``service.job_wall_s``
+observed) and each served job appends a ``kind="serve"`` RunRecord so
+``artwork-inspect`` reports and regression gates cover service traffic.
+On SIGTERM the CLI drains: submissions get 503, in-flight jobs finish
+(bounded by ``drain_grace``), workers retire, then the loop exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .. import __version__
+from ..core.netlist import NetlistError
+from ..formats.escher import read_escher
+from ..obs import Registry, RunLog, get_logger, get_registry, span
+from ..obs.prometheus import render_prometheus
+from ..obs.runlog import stages_from_spans
+from ..render.svg import render_svg
+from ..service.cache import ResultCache
+from ..service.jobs import JobError, JobSpec
+from ..service.scheduler import BatchScheduler
+from .auth import TokenAuth
+from .pool import PoolClosedError, WorkerPool
+from .protocol import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    HTTPRequest,
+    ProtocolError,
+    json_body,
+    read_request,
+    render_response,
+    ws_encode_frame,
+    ws_handshake_response,
+    ws_read_frame,
+)
+from .rate_limit import RateLimiter
+
+#: Longest ``?wait=`` long-poll the server will hold a request open for.
+MAX_WAIT_S = 60.0
+
+#: Job states that will never change again.
+TERMINAL = ("ok", "error", "timeout", "crashed", "cancelled")
+
+_SERVER = f"artwork-serve/{__version__}"
+
+
+@dataclass
+class GatewayConfig:
+    """Everything ``artwork-serve`` is configured by."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands on gateway.port
+    workers: int = 1
+    job_timeout: float | None = 120.0
+    auth: TokenAuth = field(default_factory=TokenAuth)
+    rate_limit: RateLimiter | None = None
+    #: Jobs allowed to wait in the pool backlog before submissions 503.
+    max_queue: int = 64
+    cache: ResultCache | None = None
+    runlog: RunLog | None = None
+    drain_grace: float = 10.0
+    max_body: int = 4 * 1024 * 1024
+    #: Finished jobs kept for status/result queries (oldest evicted).
+    max_finished_jobs: int = 4096
+
+
+@dataclass
+class Response:
+    """What a route handler returns; the connection loop serializes it."""
+
+    status: int
+    body: bytes | str = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def _json_response(status: int, data: dict | list, **headers: str) -> Response:
+    return Response(status, json_body(data), headers=dict(headers))
+
+
+def _error(status: int, message: str, **headers: str) -> Response:
+    return _json_response(status, {"error": message}, **headers)
+
+
+class ServedJob:
+    """Gateway-side record of one submitted job."""
+
+    def __init__(self, job_id: str, spec: JobSpec, digest: str):
+        self.id = job_id
+        self.spec = spec
+        self.digest = digest
+        self.status = "queued"
+        self.payload: dict | None = None
+        self.from_cache = False
+        self.attempts = 0
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.events: list[dict] = []
+        self.subscribers: set[asyncio.Queue] = set()
+        self.done = asyncio.Event()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL
+
+    def add_event(self, event: str, **data) -> None:
+        entry = {"seq": len(self.events), "event": event, "job": self.id, **data}
+        self.events.append(entry)
+        for queue in self.subscribers:
+            queue.put_nowait(entry)
+
+    def summary(self) -> dict:
+        payload = self.payload or {}
+        body = {
+            "id": self.id,
+            "name": self.spec.name,
+            "digest": self.digest,
+            "status": self.status,
+            "cached": self.from_cache,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": len(self.events),
+            "links": {
+                "self": f"/v1/jobs/{self.id}",
+                "result": f"/v1/jobs/{self.id}/result",
+                "svg": f"/v1/jobs/{self.id}/svg",
+                "events": f"/v1/jobs/{self.id}/events",
+            },
+        }
+        if self.finished:
+            body["seconds"] = payload.get("seconds", 0.0)
+            body["metrics"] = payload.get("metrics", {})
+            body["timing"] = payload.get("timing", {})
+            body["failed_nets"] = payload.get("failed_nets", [])
+            if payload.get("error"):
+                body["error"] = payload["error"]
+        return body
+
+
+class ArtworkGateway:
+    """The daemon: connection handling, job table, worker pool glue."""
+
+    def __init__(self, config: GatewayConfig | None = None, *, pool: WorkerPool | None = None):
+        self.config = config or GatewayConfig()
+        self.pool = pool or WorkerPool(
+            self.config.workers, timeout=self.config.job_timeout
+        )
+        #: Gateway-local registry backing ``/metrics`` (also mirrored into
+        #: the process-global registry, like the batch scheduler does).
+        self.registry = Registry()
+        self.log = get_logger("gateway")
+        self.port: int | None = None
+        self.started_at = 0.0
+        self._jobs: dict[str, ServedJob] = {}
+        self._by_digest: dict[str, str] = {}
+        self._finished_ids: list[str] = []
+        self._job_counter = itertools.count(1)
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._stopped = asyncio.Event()
+        self._routes = [
+            ("POST", re.compile(r"^/v1/jobs$"), self._post_job),
+            ("GET", re.compile(r"^/v1/jobs$"), self._list_jobs),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)$"), self._job_status),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/result$"), self._job_result),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/svg$"), self._job_svg),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/events$"), self._job_events_poll),
+            ("GET", re.compile(r"^/healthz$"), self._healthz),
+            ("GET", re.compile(r"^/metrics$"), self._metrics),
+        ]
+        self._ws_route = re.compile(r"^/v1/jobs/([^/]+)/events$")
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "ArtworkGateway":
+        self._loop = asyncio.get_running_loop()
+        self.pool.start()
+        self._server = await asyncio.start_server(
+            self._on_client, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self.log.info(
+            "gateway up",
+            extra={"fields": {"host": self.config.host, "port": self.port,
+                              "workers": self.pool.size}},
+        )
+        return self
+
+    def begin_drain(self) -> None:
+        self._draining = True
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight jobs,
+        retire workers, close connections."""
+        self.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Pool close blocks (it joins processes); keep the loop alive so
+        # completion callbacks scheduled via call_soon_threadsafe land.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None,
+            lambda: self.pool.close(drain=drain, grace=self.config.drain_grace),
+        )
+        # Give in-flight responses a beat, then drop idle keep-alives.
+        await asyncio.sleep(0.05)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # -- connection plumbing --------------------------------------------
+
+    async def _on_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, max_body=self.config.max_body)
+                except ProtocolError as exc:
+                    writer.write(
+                        render_response(
+                            exc.status,
+                            json_body({"error": str(exc)}),
+                            headers={"server": _SERVER},
+                            keep_alive=False,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                started = time.perf_counter()
+                response = await self._dispatch(request, reader, writer, str(peer[0]))
+                if response is None:
+                    return  # connection consumed (WebSocket stream)
+                self._observe_request(request, response, time.perf_counter() - started)
+                headers = {"server": _SERVER, **response.headers}
+                writer.write(
+                    render_response(
+                        response.status,
+                        response.body,
+                        content_type=response.content_type,
+                        headers=headers,
+                        keep_alive=request.keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # drain in progress
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _observe_request(self, request: HTTPRequest, response: Response, seconds: float) -> None:
+        for reg in (self.registry, get_registry()):
+            reg.inc("gateway.http_requests")
+            reg.inc(f"gateway.http_status.{response.status // 100}xx")
+            reg.observe("gateway.request_s", seconds)
+
+    async def _dispatch(
+        self,
+        request: HTTPRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer_host: str,
+    ) -> Response | None:
+        guarded = request.path.startswith("/v1/")
+        if guarded:
+            token = self.config.auth.presented_token(request.headers)
+            if not self.config.auth.authorize(
+                request.headers, query_token=request.query.get("token")
+            ):
+                self.registry.inc("gateway.auth_rejections")
+                get_registry().inc("gateway.auth_rejections")
+                return _error(
+                    401, "missing or invalid token",
+                    **{"www-authenticate": 'Bearer realm="artwork-serve"'},
+                )
+            if self.config.rate_limit is not None:
+                wait = self.config.rate_limit.check(token or peer_host)
+                if wait > 0.0:
+                    self.registry.inc("gateway.rate_limited")
+                    get_registry().inc("gateway.rate_limited")
+                    return _error(
+                        429, "rate limit exceeded",
+                        **{"retry-after": str(max(1, round(wait)))},
+                    )
+        ws_match = self._ws_route.match(request.path)
+        if ws_match and request.method == "GET" and request.wants_websocket:
+            with span("gateway.request", method="WS", path=request.path):
+                return await self._job_events_ws(request, reader, writer, ws_match.group(1))
+        allowed: set[str] = set()
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if not match:
+                continue
+            if method != request.method:
+                allowed.add(method)
+                continue
+            with span("gateway.request", method=request.method, path=request.path):
+                try:
+                    return await handler(request, match)
+                except ProtocolError as exc:  # e.g. a non-JSON body
+                    return _error(exc.status, str(exc))
+        if allowed:
+            return _error(405, "method not allowed", allow=", ".join(sorted(allowed)))
+        return _error(404, f"no such endpoint: {request.path}")
+
+    # -- job submission and the pool glue -------------------------------
+
+    def _new_job_id(self) -> str:
+        return f"j{next(self._job_counter):06d}"
+
+    def _find_job(self, job_id: str) -> ServedJob | None:
+        return self._jobs.get(job_id)
+
+    def _retire_finished(self) -> None:
+        excess = len(self._finished_ids) - self.config.max_finished_jobs
+        for job_id in self._finished_ids[: max(0, excess)]:
+            self._jobs.pop(job_id, None)
+        if excess > 0:
+            del self._finished_ids[:excess]
+
+    async def _post_job(self, request: HTTPRequest, _match) -> Response:
+        if self._draining:
+            return _error(503, "gateway is draining", **{"retry-after": "5"})
+        data = request.json()  # ProtocolError -> 400 upstream
+        try:
+            spec = JobSpec.from_dict(data)
+        except (JobError, NetlistError, ValueError, KeyError, TypeError) as exc:
+            return _error(400, f"bad job spec: {exc}")
+        digest = spec.digest
+
+        # Dedup 1: the content-addressed result cache (completed earlier).
+        if self.config.cache is not None:
+            payload = self.config.cache.get(spec)
+            if payload is not None:
+                job = ServedJob(self._new_job_id(), spec, digest)
+                job.from_cache = True
+                self._install_job(job)
+                job.add_event("queued", cached=True)
+                self._finish_job(job, payload, attempts=0)
+                body = {**job.summary(), "deduped": False}
+                return _json_response(200, body)
+
+        # Dedup 2: an identical spec already queued or running.
+        existing_id = self._by_digest.get(digest)
+        if existing_id is not None:
+            existing = self._jobs.get(existing_id)
+            if existing is not None and not existing.finished:
+                self.registry.inc("gateway.jobs_deduped")
+                get_registry().inc("gateway.jobs_deduped")
+                return _json_response(202, {**existing.summary(), "deduped": True})
+
+        # Backpressure: bounded pool backlog.
+        depth = self.pool.queue_depth
+        if depth >= self.config.max_queue:
+            self.registry.inc("gateway.queue_rejections")
+            get_registry().inc("gateway.queue_rejections")
+            return _error(
+                503,
+                f"job queue is full ({depth} waiting)",
+                **{"retry-after": str(max(1, round(depth * 0.1)))},
+            )
+
+        job = ServedJob(self._new_job_id(), spec, digest)
+        self._install_job(job)
+        self._by_digest[digest] = job.id
+        loop = self._loop
+        assert loop is not None
+        job_id = job.id
+
+        def on_done(result: dict, attempts: int) -> None:
+            loop.call_soon_threadsafe(self._on_pool_done, job_id, result, attempts)
+
+        def on_event(event: dict) -> None:
+            loop.call_soon_threadsafe(self._on_pool_event, job_id, event)
+
+        try:
+            self.pool.submit(spec.to_dict(), callback=on_done, events=on_event)
+        except PoolClosedError:
+            self._forget_job(job)
+            return _error(503, "gateway is draining", **{"retry-after": "5"})
+        job.add_event("queued", digest=digest)
+        self.registry.inc("gateway.jobs_submitted")
+        get_registry().inc("gateway.jobs_submitted")
+        return _json_response(202, {**job.summary(), "deduped": False})
+
+    def _install_job(self, job: ServedJob) -> None:
+        self._jobs[job.id] = job
+
+    def _forget_job(self, job: ServedJob) -> None:
+        self._jobs.pop(job.id, None)
+        if self._by_digest.get(job.digest) == job.id:
+            del self._by_digest[job.digest]
+
+    def _on_pool_event(self, job_id: str, event: dict) -> None:
+        job = self._jobs.get(job_id)
+        if job is None or job.finished:
+            return
+        if event.get("type") == "dispatched":
+            job.status = "running"
+            job.started_at = time.time()
+            job.add_event("running", attempt=event.get("attempt", 1))
+        elif event.get("type") == "stage":
+            job.add_event("stage", stage=event.get("stage", "?"))
+
+    def _on_pool_done(self, job_id: str, result: dict, attempts: int) -> None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return
+        self._finish_job(job, result, attempts=attempts)
+
+    def _finish_job(self, job: ServedJob, payload: dict, *, attempts: int) -> None:
+        job.payload = payload
+        job.status = payload.get("status", "error")
+        job.attempts = attempts
+        job.finished_at = time.time()
+        if self._by_digest.get(job.digest) == job.id:
+            del self._by_digest[job.digest]
+        self._finished_ids.append(job.id)
+        self._record_job(job)
+        job.add_event(
+            "done",
+            status=job.status,
+            seconds=payload.get("seconds", 0.0),
+            cached=job.from_cache,
+            attempts=attempts,
+        )
+        job.done.set()
+        self._retire_finished()
+
+    def _record_job(self, job: ServedJob) -> None:
+        """Fold one finished job into obs state, the result cache and the
+        run registry — the daemon twin of ``BatchScheduler._record``."""
+        payload = job.payload or {}
+        wall = float(payload.get("seconds", 0.0) or 0.0)
+        for reg in (self.registry, get_registry()):
+            reg.inc("service.jobs")
+            reg.inc(f"service.status.{job.status}")
+            reg.inc("service.cache_hits" if job.from_cache else "service.cache_misses")
+            if not job.from_cache:
+                reg.observe("service.job_wall_s", wall)
+        worker_counters = payload.get("counters")
+        if worker_counters and not job.from_cache:
+            self.registry.merge(worker_counters)
+            get_registry().merge(worker_counters)
+        if (
+            self.config.cache is not None
+            and job.status == "ok"
+            and not job.from_cache
+        ):
+            self.config.cache.put(
+                job.spec,
+                {
+                    k: v
+                    for k, v in payload.items()
+                    if k not in BatchScheduler.TRANSIENT_KEYS
+                },
+            )
+        if self.config.runlog is not None:
+            self.config.runlog.record(
+                kind="serve",
+                name=job.spec.name,
+                wall_seconds=wall,
+                spec_digest=job.digest,
+                stages=stages_from_spans(payload.get("trace") or []),
+                counters=worker_counters or {"counters": {}, "histograms": {}},
+                metrics=dict(payload.get("metrics", {}) or {}),
+                failures={
+                    net: {"reason": reason}
+                    for net, reason in (payload.get("failure_reasons") or {}).items()
+                },
+                congestion=dict(payload.get("congestion", {}) or {}),
+                profile="",
+                extra={
+                    "status": job.status,
+                    "from_cache": job.from_cache,
+                    "attempts": job.attempts,
+                    "job_id": job.id,
+                },
+            )
+        if job.status != "ok":
+            self.log.warning(
+                "served job did not finish ok",
+                extra={"fields": {"job": job.spec.name, "id": job.id,
+                                  "status": job.status,
+                                  "error": payload.get("error", "")}},
+            )
+
+    # -- job queries -----------------------------------------------------
+
+    async def _job_status(self, request: HTTPRequest, match) -> Response:
+        job = self._find_job(match.group(1))
+        if job is None:
+            return _error(404, f"no such job: {match.group(1)}")
+        if "wait" in request.query and not job.finished:
+            try:
+                wait_s = min(float(request.query["wait"]), MAX_WAIT_S)
+            except ValueError:
+                return _error(400, "wait must be a number of seconds")
+            try:
+                await asyncio.wait_for(job.done.wait(), timeout=max(0.0, wait_s))
+            except asyncio.TimeoutError:
+                pass
+        return _json_response(200, job.summary())
+
+    async def _list_jobs(self, _request: HTTPRequest, _match) -> Response:
+        jobs = sorted(self._jobs.values(), key=lambda j: j.submitted_at, reverse=True)
+        return _json_response(
+            200, {"jobs": [j.summary() for j in jobs[:100]], "total": len(self._jobs)}
+        )
+
+    async def _job_result(self, _request: HTTPRequest, match) -> Response:
+        job = self._find_job(match.group(1))
+        if job is None:
+            return _error(404, f"no such job: {match.group(1)}")
+        if not job.finished:
+            return _error(409, f"job {job.id} is {job.status}; result not ready")
+        return _json_response(200, {**job.summary(), "payload": job.payload})
+
+    async def _job_svg(self, _request: HTTPRequest, match) -> Response:
+        job = self._find_job(match.group(1))
+        if job is None:
+            return _error(404, f"no such job: {match.group(1)}")
+        if not job.finished:
+            return _error(409, f"job {job.id} is {job.status}; artwork not ready")
+        payload = job.payload or {}
+        if job.status != "ok" or "escher" not in payload:
+            return _error(409, f"job {job.id} finished {job.status}; no artwork")
+        diagram = read_escher(payload["escher"], job.spec.build_network())
+        return Response(200, render_svg(diagram), content_type="image/svg+xml")
+
+    # -- progress streaming ----------------------------------------------
+
+    async def _job_events_poll(self, _request: HTTPRequest, match) -> Response:
+        """Plain-HTTP fallback for the events endpoint (no Upgrade header):
+        the full event history so far."""
+        job = self._find_job(match.group(1))
+        if job is None:
+            return _error(404, f"no such job: {match.group(1)}")
+        return _json_response(200, {"id": job.id, "events": job.events})
+
+    async def _job_events_ws(
+        self,
+        request: HTTPRequest,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        job_id: str,
+    ) -> Response | None:
+        job = self._find_job(job_id)
+        if job is None:
+            return _error(404, f"no such job: {job_id}")
+        try:
+            writer.write(ws_handshake_response(request))
+            await writer.drain()
+        except ProtocolError as exc:
+            return _error(exc.status, str(exc))
+        self.registry.inc("gateway.ws_connections")
+        get_registry().inc("gateway.ws_connections")
+
+        queue: asyncio.Queue = asyncio.Queue()
+        job.subscribers.add(queue)
+        closed = asyncio.Event()
+
+        async def watch_client() -> None:
+            try:
+                while True:
+                    opcode, payload = await ws_read_frame(reader)
+                    if opcode == OP_CLOSE:
+                        break
+                    if opcode == OP_PING:
+                        writer.write(ws_encode_frame(payload, opcode=OP_PONG))
+                        await writer.drain()
+            except (ProtocolError, asyncio.IncompleteReadError,
+                    ConnectionResetError, OSError):
+                pass
+            closed.set()
+
+        watcher = asyncio.create_task(watch_client())
+        try:
+            # History first (subscribe-then-replay, so nothing is missed);
+            # the queue filter below drops anything replayed twice.
+            history = list(job.events)
+            last_seq = history[-1]["seq"] if history else -1
+            for event in history:
+                writer.write(ws_encode_frame(json_body(event)))
+            await writer.drain()
+            finished = bool(history) and history[-1]["event"] == "done"
+            while not finished and not closed.is_set():
+                getter = asyncio.ensure_future(queue.get())
+                closer = asyncio.ensure_future(closed.wait())
+                done, _pending = await asyncio.wait(
+                    {getter, closer}, return_when=asyncio.FIRST_COMPLETED
+                )
+                closer.cancel()
+                if getter not in done:
+                    getter.cancel()
+                    break
+                event = getter.result()
+                if event["seq"] <= last_seq:
+                    continue
+                last_seq = event["seq"]
+                writer.write(ws_encode_frame(json_body(event)))
+                await writer.drain()
+                if event["event"] == "done":
+                    finished = True
+            writer.write(ws_encode_frame(b"", opcode=OP_CLOSE))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            job.subscribers.discard(queue)
+            watcher.cancel()
+        return None  # connection consumed
+
+    # -- observability endpoints -----------------------------------------
+
+    async def _healthz(self, _request: HTTPRequest, _match) -> Response:
+        # Force a liveness pass so a freshly killed worker is visible in
+        # this very response, not one poll interval later.
+        self.pool.reap()
+        health = self.pool.health()
+        queued = sum(1 for j in self._jobs.values() if j.status == "queued")
+        running = sum(1 for j in self._jobs.values() if j.status == "running")
+        degraded = health["alive"] < health["size"]
+        status = "draining" if self._draining else ("degraded" if degraded else "ok")
+        body = {
+            "status": status,
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "pool": health,
+            "jobs": {
+                "tracked": len(self._jobs),
+                "queued": queued,
+                "running": running,
+                "finished": len(self._finished_ids),
+            },
+        }
+        return _json_response(200 if status == "ok" else 503, body)
+
+    async def _metrics(self, _request: HTTPRequest, _match) -> Response:
+        health = self.pool.health()
+        gauges = {
+            "gateway.queue_depth": health["queued"],
+            "gateway.jobs_in_flight": health["in_flight"],
+            "gateway.workers_alive": health["alive"],
+            "gateway.workers_size": health["size"],
+            "gateway.worker_restarts_total": health["worker_restarts"],
+            "gateway.uptime_s": round(time.time() - self.started_at, 3),
+            "gateway.jobs_tracked": len(self._jobs),
+            "gateway.draining": 1 if self._draining else 0,
+        }
+        if self.config.cache is not None:
+            stats = self.config.cache.stats
+            gauges["gateway.cache_entries"] = len(self.config.cache)
+            gauges["gateway.cache_hit_rate"] = round(stats.hit_rate, 4)
+        text = render_prometheus(self.registry.snapshot(), gauges=gauges)
+        return Response(200, text, content_type="text/plain; version=0.0.4")
+
+
+# -- embedding helpers (tests, benchmarks, notebooks) -----------------------
+
+
+class GatewayHandle:
+    """A gateway running on a daemon thread, controlled from the caller."""
+
+    def __init__(self) -> None:
+        self.gateway: ArtworkGateway | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.thread: threading.Thread | None = None
+        self.error: BaseException | None = None
+        self._ready = threading.Event()
+
+    @property
+    def port(self) -> int:
+        assert self.gateway is not None and self.gateway.port is not None
+        return self.gateway.port
+
+    @property
+    def base_url(self) -> str:
+        assert self.gateway is not None
+        return f"http://{self.gateway.config.host}:{self.port}"
+
+    def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        if self.loop is None or self.gateway is None or self.loop.is_closed():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.stop(drain=drain), self.loop
+        )
+        future.result(timeout=timeout)
+        if self.thread is not None:
+            self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def start_gateway(
+    config: GatewayConfig | None = None, *, pool: WorkerPool | None = None
+) -> GatewayHandle:
+    """Run an :class:`ArtworkGateway` on a background thread; returns once
+    it is accepting connections.  The caller owns ``handle.stop()``."""
+    handle = GatewayHandle()
+
+    async def main() -> None:
+        gateway = ArtworkGateway(config, pool=pool)
+        try:
+            await gateway.start()
+        except BaseException as exc:  # bind errors land on the caller
+            handle.error = exc
+            handle._ready.set()
+            raise
+        handle.gateway = gateway
+        handle.loop = asyncio.get_running_loop()
+        handle._ready.set()
+        await gateway.wait_stopped()
+
+    def runner() -> None:
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via handle.error
+            if handle.error is None:
+                handle.error = exc
+            handle._ready.set()
+
+    handle.thread = threading.Thread(target=runner, name="artwork-serve", daemon=True)
+    handle.thread.start()
+    handle._ready.wait(timeout=30.0)
+    if handle.error is not None:
+        raise RuntimeError(f"gateway failed to start: {handle.error}") from handle.error
+    if handle.gateway is None:
+        raise RuntimeError("gateway failed to start within 30s")
+    return handle

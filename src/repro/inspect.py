@@ -2,7 +2,10 @@
 gate regressions.
 
 Subcommands over the append-only JSONL registry the pipeline commands
-write with ``--runlog`` (and the benchmarks append to automatically):
+write with ``--runlog`` (the benchmarks append to it automatically, and
+``artwork-serve --runlog`` adds one ``kind="serve"`` record per job it
+serves, so daemon traffic shows up alongside batch and bench runs —
+``list --kind serve`` filters down to it):
 
 * ``record``  — run the generator on network files and append a RunRecord,
 * ``list``    — the run trajectory as a table,

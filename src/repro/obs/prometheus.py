@@ -1,0 +1,71 @@
+"""Prometheus text exposition for :mod:`repro.obs.counters` snapshots.
+
+The gateway's ``GET /metrics`` endpoint renders a
+:meth:`~repro.obs.counters.Registry.snapshot` straight into the
+Prometheus text format (version 0.0.4): counters become ``counter``
+samples, histograms become ``summary`` families with p50/p95/p99
+quantiles from the reservoir, and callers can append point-in-time
+``gauge`` values (queue depth, worker liveness).  Dotted metric names
+are mangled to the ``[a-zA-Z0-9_:]`` charset Prometheus requires, so
+``service.job_wall_s`` scrapes as ``repro_service_job_wall_s``.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Namespace every exported sample is prefixed with.
+PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Reservoir quantiles exported per histogram (label value -> percentile).
+SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def metric_name(name: str, *, prefix: str = PREFIX) -> str:
+    """Mangle a dotted registry name into a legal Prometheus name."""
+    mangled = _NAME_OK.sub("_", name.replace(".", "_"))
+    if not mangled or mangled[0].isdigit():
+        mangled = "_" + mangled
+    return prefix + mangled
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: dict,
+    *,
+    gauges: dict[str, float] | None = None,
+    prefix: str = PREFIX,
+) -> str:
+    """Render a registry snapshot (+ optional gauges) as exposition text.
+
+    ``snapshot`` is the ``{"counters": ..., "histograms": ...}`` shape
+    :meth:`Registry.snapshot` returns; ``gauges`` are extra
+    instantaneous values (already-final numbers, not deltas).
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in SUMMARY_QUANTILES:
+            lines.append(f'{metric}{{quantile="{label}"}} {_fmt(hist.get(key, 0.0))}')
+        lines.append(f"{metric}_sum {_fmt(hist.get('total', 0.0))}")
+        lines.append(f"{metric}_count {_fmt(hist.get('count', 0))}")
+    for name in sorted(gauges or {}):
+        metric = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauges[name])}")
+    return "\n".join(lines) + "\n"

@@ -23,11 +23,15 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (gateway imports us)
+    from ..gateway.pool import WorkerPool
 
 from ..core.diagram import Diagram
 from ..core.generator import generate
@@ -94,11 +98,14 @@ class JobOutcome:
         return read_escher(self.payload["escher"], self.spec.build_network())
 
 
-def execute_job(payload: dict) -> dict:
+def execute_job(payload: dict, progress: Callable[[str], None] | None = None) -> dict:
     """Run one job (a ``JobSpec.to_dict()`` payload) through the pipeline.
 
     Returns a JSON-able dict; never raises for pipeline errors (they come
     back as ``status: "error"``) so a pool worker survives bad inputs.
+    ``progress`` (when the caller supports it — the persistent
+    :class:`~repro.gateway.pool.WorkerPool` does) receives per-stage
+    notifications that the gateway streams to WebSocket subscribers.
     """
     started = time.perf_counter()
     # Record the job under a private tracer/registry: the spans and
@@ -111,7 +118,9 @@ def execute_job(payload: dict) -> dict:
     try:
         spec = JobSpec.from_dict(payload)
         with tracer.span("job", job=spec.name):
-            result = generate(spec.build_network(), spec.pablo, spec.eureka)
+            result = generate(
+                spec.build_network(), spec.pablo, spec.eureka, progress=progress
+            )
         return {
             "status": "ok",
             "name": spec.name,
@@ -188,6 +197,18 @@ class BatchScheduler:
     #: When set, the parent appends one RunRecord per job as outcomes
     #: land (the workers never touch the registry file themselves).
     runlog: RunLog | None = None
+    #: A warm :class:`~repro.gateway.pool.WorkerPool` to dispatch on
+    #: instead of spinning up a fresh ``ProcessPoolExecutor`` per round.
+    #: The pool is *borrowed*: its worker/timeout/retry settings govern
+    #: execution and the caller owns its lifecycle (``artwork-batch
+    #: --keep-warm`` reuses one pool across manifests this way).
+    pool: "WorkerPool | None" = None
+    #: Jobs whose first (probe) execution finishes within this budget are
+    #: presumed spawn-dominated and the whole batch runs serially in the
+    #: parent — for the paper's sub-30ms artworks this beats any pool, so
+    #: four workers are never slower than one.  Set to 0/None to always
+    #: fan out.  Only engages for the stock :func:`execute_job` worker.
+    serial_threshold: float | None = 0.03
 
     #: Payload keys that describe *how* a run went, not *what* it made —
     #: merged into the parent's telemetry on arrival and kept out of the
@@ -243,7 +264,14 @@ class BatchScheduler:
             attempt = 0
             while pending:
                 attempt += 1
-                crashed = self._run_round(specs, pending, attempt, finish)
+                if self.pool is not None:
+                    crashed = self._run_round_pool(specs, pending, attempt, finish)
+                else:
+                    if attempt == 1:
+                        pending = self._serial_fast_path(specs, pending, finish)
+                        if not pending:
+                            break
+                    crashed = self._run_round(specs, pending, attempt, finish)
                 if not crashed or not self.retry_crashed or attempt >= 2:
                     for i in crashed:
                         finish(
@@ -377,3 +405,115 @@ class BatchScheduler:
                     )
         crashed.sort()
         return crashed
+
+    def _run_inline(self, payload: dict) -> dict:
+        """Run one job in the parent process (the serial fast path).
+
+        ``SIGALRM`` timeouts only work on the main thread; elsewhere the
+        job simply runs unbudgeted — acceptable because the fast path
+        only engages after a probe proved jobs finish in milliseconds.
+        """
+        if threading.current_thread() is threading.main_thread():
+            return run_with_timeout(self.worker, self.timeout, payload)
+        return self.worker(payload)
+
+    def _serial_fast_path(
+        self,
+        specs: Sequence[JobSpec],
+        indices: list[int],
+        finish: Callable[[int, JobOutcome], None],
+    ) -> list[int]:
+        """Probe the first pending job in-parent; when it proves cheaper
+        than a process spawn, drain the whole batch serially.  Returns the
+        indices still pending for the pool (empty when drained).
+
+        Restricted to the stock :func:`execute_job` worker: substituted
+        test workers may crash on purpose (``os._exit``), which must stay
+        inside a child process.
+        """
+        if (
+            not indices
+            or not self.serial_threshold
+            or self.worker is not execute_job
+        ):
+            return indices
+        probe, rest = indices[0], indices[1:]
+        with span("batch.serial_probe", job=specs[probe].name):
+            started = time.perf_counter()
+            payload = self._run_inline(specs[probe].to_dict())
+            probe_wall = time.perf_counter() - started
+        finish(
+            probe,
+            JobOutcome(
+                specs[probe],
+                payload.get("status", "error"),
+                payload,
+                attempts=1,
+                error=payload.get("error"),
+            ),
+        )
+        if probe_wall > self.serial_threshold:
+            return rest  # real work: fan the remainder out to processes
+        for reg in (self.counters, get_registry()):
+            reg.inc("service.serial_fast_path")
+        for i in rest:
+            payload = self._run_inline(specs[i].to_dict())
+            finish(
+                i,
+                JobOutcome(
+                    specs[i],
+                    payload.get("status", "error"),
+                    payload,
+                    attempts=1,
+                    error=payload.get("error"),
+                ),
+            )
+        return []
+
+    def _run_round_pool(
+        self,
+        specs: Sequence[JobSpec],
+        indices: list[int],
+        attempt: int,
+        finish: Callable[[int, JobOutcome], None],
+    ) -> list[int]:
+        """Dispatch one round on the borrowed persistent pool.
+
+        The pool already owns crash-retry and timeout semantics (crashed
+        jobs come back as ``status: "crashed"`` payloads after its own
+        retry), so this round never reports crashes for re-dispatch.
+        """
+        results: dict[int, tuple[dict, int]] = {}
+        all_done = threading.Event()
+        lock = threading.Lock()
+
+        def make_callback(i: int) -> Callable[[dict, int], None]:
+            def callback(payload: dict, attempts: int) -> None:
+                with lock:
+                    results[i] = (payload, attempts)
+                    if len(results) == len(indices):
+                        all_done.set()
+
+            return callback
+
+        for i in indices:
+            if self.timeout is not None:
+                self.pool.submit(
+                    specs[i].to_dict(), timeout=self.timeout, callback=make_callback(i)
+                )
+            else:  # defer to the pool's own configured budget
+                self.pool.submit(specs[i].to_dict(), callback=make_callback(i))
+        all_done.wait()
+        for i in indices:  # deterministic submission order, as ever
+            payload, attempts = results[i]
+            finish(
+                i,
+                JobOutcome(
+                    specs[i],
+                    payload.get("status", "error"),
+                    payload,
+                    attempts=attempts,
+                    error=payload.get("error"),
+                ),
+            )
+        return []

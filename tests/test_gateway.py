@@ -1,0 +1,511 @@
+"""Tests for the gateway subsystem: worker pool, HTTP/WS server, auth,
+rate limiting, backpressure, crash recovery and graceful drain."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.gateway import (
+    GatewayConfig,
+    HttpClient,
+    RateLimiter,
+    TokenAuth,
+    WebSocketClient,
+    WorkerPool,
+    start_gateway,
+)
+from repro.gateway.pool import PoolClosedError
+from repro.gateway.protocol import (
+    OP_CLOSE,
+    OP_TEXT,
+    ws_accept_key,
+    ws_encode_frame,
+)
+from repro.service import JobSpec, ResultCache
+from repro.workloads import random_network
+from repro.workloads.examples import example1_string
+
+
+def spec_for(seed: int = 0, *, modules: int = 5) -> JobSpec:
+    return JobSpec.from_network(random_network(modules=modules, seed=seed))
+
+
+# -- module-level workers (must be picklable for the pool) -----------------
+
+
+def echo_worker(payload: dict) -> dict:
+    return {"status": "ok", "name": payload.get("name", "?"), "echo": payload,
+            "metrics": {}, "timing": {}, "seconds": 0.001}
+
+
+def napping_worker(payload: dict) -> dict:
+    time.sleep(float(payload.get("nap", 2.0)))
+    return {"status": "ok", "name": payload.get("name", "?"),
+            "metrics": {}, "timing": {}, "seconds": 0.0}
+
+
+def crash_once_worker(payload: dict) -> dict:
+    marker = os.path.join(os.environ["REPRO_TEST_DIR"], payload["name"])
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(13)
+    return echo_worker(payload)
+
+
+def always_crash_worker(payload: dict) -> dict:
+    os._exit(13)  # pragma: no cover
+
+
+def staged_worker(payload: dict, progress=None) -> dict:
+    if progress is not None:
+        progress("alpha")
+        progress("beta")
+    return echo_worker(payload)
+
+
+def collect(pool: WorkerPool, payloads: list[dict], timeout: float = 30.0) -> list[tuple[dict, int]]:
+    """Submit payloads and wait for every callback (submission order)."""
+    import threading
+
+    results: dict[int, tuple[dict, int]] = {}
+    done = threading.Event()
+
+    def make_cb(i):
+        def cb(result, attempts):
+            results[i] = (result, attempts)
+            if len(results) == len(payloads):
+                done.set()
+        return cb
+
+    for i, payload in enumerate(payloads):
+        pool.submit(payload, callback=make_cb(i))
+    assert done.wait(timeout), f"only {len(results)}/{len(payloads)} jobs came back"
+    return [results[i] for i in range(len(payloads))]
+
+
+# -- WorkerPool ------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_round_trip_and_ordering(self):
+        with WorkerPool(2, worker=echo_worker) as pool:
+            got = collect(pool, [{"name": f"job{i}", "i": i} for i in range(6)])
+            assert [r["echo"]["i"] for r, _ in got] == list(range(6))
+            assert all(r["status"] == "ok" for r, _ in got)
+            assert all(attempts == 1 for _, attempts in got)
+
+    def test_workers_stay_resident(self):
+        with WorkerPool(1, worker=echo_worker) as pool:
+            collect(pool, [{"name": "a"}])
+            pids = {w["pid"] for w in pool.health()["workers"]}
+            collect(pool, [{"name": "b"}, {"name": "c"}])
+            assert {w["pid"] for w in pool.health()["workers"]} == pids
+            assert pool.health()["worker_restarts"] == 0
+
+    def test_crash_retried_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DIR", str(tmp_path))
+        with WorkerPool(1, worker=crash_once_worker, poll_interval=0.05) as pool:
+            (result, attempts), = collect(pool, [{"name": "flaky"}])
+            assert result["status"] == "ok"
+            assert attempts == 2
+            assert pool.health()["worker_restarts"] == 1
+
+    def test_persistent_crash_reported(self):
+        with WorkerPool(1, worker=always_crash_worker, poll_interval=0.05) as pool:
+            (result, attempts), = collect(pool, [{"name": "doomed"}])
+            assert result["status"] == "crashed"
+            assert attempts == 2
+            assert pool.health()["crashed_jobs"] == 1
+
+    def test_crashed_worker_is_replaced(self):
+        with WorkerPool(1, worker=always_crash_worker, poll_interval=0.05) as pool:
+            collect(pool, [{"name": "boom"}])
+            health = pool.health()
+            assert health["alive"] == health["size"] == 1
+
+    def test_in_worker_timeout(self):
+        with WorkerPool(1, worker=napping_worker, timeout=0.2) as pool:
+            (result, _), = collect(pool, [{"name": "sleepy", "nap": 30}])
+            assert result["status"] == "timeout"
+            # SIGALRM fired inside the worker: the process survived.
+            assert pool.health()["worker_restarts"] == 0
+
+    def test_stage_events_stream_in_order(self):
+        events: list[dict] = []
+        with WorkerPool(1, worker=staged_worker) as pool:
+            import threading
+
+            done = threading.Event()
+            pool.submit(
+                {"name": "staged"},
+                callback=lambda *_: done.set(),
+                events=events.append,
+            )
+            assert done.wait(10)
+        kinds = [e.get("type") for e in events]
+        assert kinds == ["dispatched", "stage", "stage"]
+        assert [e["stage"] for e in events[1:]] == ["alpha", "beta"]
+
+    def test_closed_pool_rejects_submits(self):
+        pool = WorkerPool(1, worker=echo_worker)
+        pool.start()
+        pool.close()
+        with pytest.raises(PoolClosedError):
+            pool.submit({"name": "late"})
+
+    def test_close_drains_in_flight_jobs(self):
+        pool = WorkerPool(1, worker=napping_worker)
+        import threading
+
+        results = []
+        pool.submit({"name": "nap", "nap": 0.3}, callback=lambda r, a: results.append(r))
+        pool.close(drain=True, grace=10.0)
+        assert results and results[0]["status"] == "ok"
+
+    def test_health_reflects_externally_killed_worker(self):
+        with WorkerPool(1, worker=echo_worker, poll_interval=0.05) as pool:
+            collect(pool, [{"name": "warm"}])
+            old_pid = pool.health()["workers"][0]["pid"]
+            os.kill(old_pid, signal.SIGKILL)
+            time.sleep(0.1)
+            pool.reap()  # what /healthz does synchronously
+            health = pool.health()
+            assert health["worker_restarts"] == 1
+            assert health["alive"] == 1
+            assert health["workers"][0]["pid"] != old_pid
+
+
+# -- auth and rate limiting (unit) -----------------------------------------
+
+
+class TestAuthUnit:
+    def test_open_when_no_tokens(self):
+        assert TokenAuth().authorize({}) is True
+
+    def test_bearer_and_api_key(self):
+        auth = TokenAuth(["s3cret"])
+        assert auth.authorize({"authorization": "Bearer s3cret"})
+        assert auth.authorize({"x-api-key": "s3cret"})
+        assert not auth.authorize({"authorization": "Bearer wrong"})
+        assert not auth.authorize({})
+
+    def test_query_token_fallback(self):
+        auth = TokenAuth(["s3cret"])
+        assert auth.authorize({}, query_token="s3cret")
+        assert not auth.authorize({}, query_token="wrong")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(TokenAuth.ENV_VAR, "envtok")
+        assert TokenAuth.from_env().authorize({"x-api-key": "envtok"})
+
+
+class TestRateLimiterUnit:
+    def test_burst_then_reject_then_refill(self):
+        now = [0.0]
+        limiter = RateLimiter(rate=1.0, burst=2, clock=lambda: now[0])
+        assert limiter.check("c") == 0.0
+        assert limiter.check("c") == 0.0
+        wait = limiter.check("c")
+        assert wait == pytest.approx(1.0)
+        now[0] += 1.0
+        assert limiter.check("c") == 0.0
+        assert limiter.rejected == 1 and limiter.allowed == 3
+
+    def test_clients_are_independent(self):
+        limiter = RateLimiter(rate=0.001, burst=1, clock=lambda: 0.0)
+        assert limiter.check("a") == 0.0
+        assert limiter.check("b") == 0.0
+        assert limiter.check("a") > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0)
+
+
+# -- the served gateway ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One warm gateway shared by the happy-path tests: real pipeline
+    worker, result cache, runlog."""
+    root = tmp_path_factory.mktemp("gateway")
+    config = GatewayConfig(
+        workers=1,
+        job_timeout=60.0,
+        cache=ResultCache(root / "cache"),
+    )
+    from repro.obs import RunLog
+
+    config.runlog = RunLog(root / "runlog.jsonl")
+    handle = start_gateway(config)
+    with handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(served):
+    with HttpClient("127.0.0.1", served.port) as c:
+        yield c
+
+
+def submit_and_wait(client: HttpClient, spec: JobSpec) -> dict:
+    posted = client.post("/v1/jobs", spec.to_dict())
+    assert posted.status in (200, 202), posted.body
+    job_id = posted.json()["id"]
+    final = client.get(f"/v1/jobs/{job_id}?wait=30").json()
+    assert final["status"] not in ("queued", "running"), final
+    return final
+
+
+class TestGatewayHTTP:
+    def test_submit_poll_result_round_trip(self, client):
+        final = submit_and_wait(client, spec_for(seed=1))
+        assert final["status"] == "ok"
+        assert final["metrics"]["nets"] >= 1
+        result = client.get(f"/v1/jobs/{final['id']}/result").json()
+        assert "escher" in result["payload"]
+        svg = client.get(f"/v1/jobs/{final['id']}/svg")
+        assert svg.status == 200
+        assert svg.headers["content-type"].startswith("image/svg+xml")
+        assert svg.body.startswith(b"<svg")
+
+    def test_bad_spec_is_a_400(self, client):
+        assert client.post("/v1/jobs", {"nonsense": True}).status == 400
+        assert client.post("/v1/jobs", b"not json{").status == 400
+
+    def test_unknown_job_and_endpoint_are_404(self, client):
+        assert client.get("/v1/jobs/j999999").status == 404
+        assert client.get("/v1/nothing").status == 404
+
+    def test_result_before_done_is_409(self, served):
+        # A job that was never submitted can't be polled; use a fresh
+        # slow-ish spec and race the result endpoint immediately.
+        with HttpClient("127.0.0.1", served.port) as c:
+            posted = c.post("/v1/jobs", spec_for(seed=2, modules=9).to_dict())
+            job_id = posted.json()["id"]
+            r = c.get(f"/v1/jobs/{job_id}/result")
+            assert r.status in (200, 409)  # 409 unless it already finished
+            final = c.get(f"/v1/jobs/{job_id}?wait=30").json()
+            assert final["status"] == "ok"
+
+    def test_cache_hit_dedup(self, client):
+        spec = spec_for(seed=3)
+        first = submit_and_wait(client, spec)
+        assert first["cached"] is False
+        again = client.post("/v1/jobs", spec.to_dict())
+        assert again.status == 200  # served instantly, no queueing
+        assert again.json()["cached"] is True
+        assert again.json()["status"] == "ok"
+        assert again.json()["id"] != first["id"]
+
+    def test_jobs_listing(self, client):
+        listing = client.get("/v1/jobs").json()
+        assert listing["total"] >= 1
+        assert listing["jobs"][0]["submitted_at"] >= listing["jobs"][-1]["submitted_at"]
+
+    def test_websocket_event_ordering(self, served, client):
+        spec = JobSpec.from_network(example1_string())
+        posted = client.post("/v1/jobs", spec.to_dict())
+        job_id = posted.json()["id"]
+        with WebSocketClient("127.0.0.1", served.port, f"/v1/jobs/{job_id}/events") as ws:
+            events = []
+            while True:
+                event = ws.recv_json()
+                if event is None:
+                    break
+                events.append(event)
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        names = [e["event"] for e in events]
+        assert names[0] == "queued" and names[-1] == "done"
+        assert "running" in names
+        stages = [e["stage"] for e in events if e["event"] == "stage"]
+        assert stages == ["placement", "routing"]
+        assert names.index("running") < names.index("done")
+
+    def test_healthz_shape(self, client):
+        health = client.get("/healthz").json()
+        assert health["status"] == "ok"
+        assert health["pool"]["alive"] == health["pool"]["size"] == 1
+        assert "queued" in health["jobs"]
+
+    def test_healthz_sees_killed_worker_immediately(self, client):
+        before = client.get("/healthz").json()["pool"]
+        old_pid = before["workers"][0]["pid"]
+        restarts = before["worker_restarts"]
+        os.kill(old_pid, signal.SIGKILL)
+        time.sleep(0.1)  # let the OS reap the child
+        after = client.get("/healthz").json()["pool"]
+        assert after["worker_restarts"] == restarts + 1
+        assert after["alive"] == after["size"]  # replacement already forked
+        assert after["workers"][0]["pid"] != old_pid
+
+    def test_metrics_exposition(self, client):
+        submit_and_wait(client, spec_for(seed=4))
+        metrics = client.get("/metrics")
+        assert metrics.status == 200
+        assert metrics.headers["content-type"].startswith("text/plain")
+        text = metrics.body.decode()
+        assert "# TYPE repro_service_job_wall_s summary" in text
+        assert 'repro_service_job_wall_s{quantile="0.5"}' in text
+        assert 'repro_service_job_wall_s{quantile="0.95"}' in text
+        assert "repro_service_jobs" in text
+        assert "repro_gateway_workers_alive 1" in text
+        assert "repro_gateway_http_requests" in text
+
+    def test_serve_runlog_records(self, served, client):
+        submit_and_wait(client, spec_for(seed=5))
+        records = served.gateway.config.runlog.runs(kind="serve")
+        assert records
+        last = records[-1]
+        assert last.extra["status"] == "ok"
+        assert last.extra["job_id"].startswith("j")
+        assert last.spec_digest
+
+
+class TestGatewayGuards:
+    def test_auth_401_and_authorized_access(self):
+        config = GatewayConfig(workers=1, auth=TokenAuth(["hunter2"]))
+        with start_gateway(config) as served:
+            with HttpClient("127.0.0.1", served.port) as anon:
+                denied = anon.get("/v1/jobs")
+                assert denied.status == 401
+                assert "bearer" in denied.headers["www-authenticate"].lower()
+                # Probes stay open during credential rotation.
+                assert anon.get("/healthz").status == 200
+                assert anon.get("/metrics").status == 200
+            with HttpClient("127.0.0.1", served.port, token="hunter2") as authed:
+                assert authed.get("/v1/jobs").status == 200
+            with HttpClient("127.0.0.1", served.port, token="wrong") as bad:
+                assert bad.get("/v1/jobs").status == 401
+
+    def test_rate_limit_429_with_retry_after(self):
+        config = GatewayConfig(
+            workers=1, rate_limit=RateLimiter(rate=0.5, burst=2)
+        )
+        with start_gateway(config) as served:
+            with HttpClient("127.0.0.1", served.port) as c:
+                assert c.get("/v1/jobs").status == 200
+                assert c.get("/v1/jobs").status == 200
+                limited = c.get("/v1/jobs")
+                assert limited.status == 429
+                assert int(limited.headers["retry-after"]) >= 1
+                # The unguarded endpoints are never limited.
+                assert c.get("/healthz").status == 200
+
+    def test_queue_full_503_and_inflight_dedup(self):
+        pool = WorkerPool(1, worker=napping_worker)
+        config = GatewayConfig(workers=1, max_queue=1)
+        with start_gateway(config, pool=pool) as served:
+            with HttpClient("127.0.0.1", served.port) as c:
+                first = c.post("/v1/jobs", spec_for(seed=6).to_dict())
+                assert first.status == 202
+                # Same digest while in flight: coalesced, not re-queued.
+                dup = c.post("/v1/jobs", spec_for(seed=6).to_dict())
+                assert dup.status == 202
+                assert dup.json()["deduped"] is True
+                assert dup.json()["id"] == first.json()["id"]
+                second = c.post("/v1/jobs", spec_for(seed=7).to_dict())
+                assert second.status == 202
+                full = c.post("/v1/jobs", spec_for(seed=8).to_dict())
+                assert full.status == 503
+                assert "retry-after" in full.headers
+            served.stop(drain=False)
+
+    def test_crash_retry_through_gateway(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DIR", str(tmp_path))
+        pool = WorkerPool(1, worker=crash_once_worker, poll_interval=0.05)
+        with start_gateway(GatewayConfig(workers=1), pool=pool) as served:
+            with HttpClient("127.0.0.1", served.port) as c:
+                posted = c.post("/v1/jobs", spec_for(seed=9).to_dict())
+                final = c.get(f"/v1/jobs/{posted.json()['id']}?wait=30").json()
+                assert final["status"] == "ok"
+                assert final["attempts"] == 2
+                health = c.get("/healthz").json()
+                assert health["pool"]["worker_restarts"] >= 1
+
+
+class TestGatewayDrain:
+    def test_draining_gateway_rejects_new_jobs(self):
+        with start_gateway(GatewayConfig(workers=1)) as served:
+            served.gateway.begin_drain()
+            with HttpClient("127.0.0.1", served.port) as c:
+                rejected = c.post("/v1/jobs", spec_for(seed=10).to_dict())
+                assert rejected.status == 503
+                health = c.get("/healthz").json()
+                assert health["status"] == "draining"
+
+    def test_sigterm_drains_gracefully(self, tmp_path):
+        """End-to-end: real ``artwork-serve`` process, real SIGTERM."""
+        runlog = tmp_path / "runlog.jsonl"
+        code = (
+            "import sys; from repro.cli import artwork_serve_main; "
+            f"sys.exit(artwork_serve_main(['--port','0','--workers','1',"
+            f"'--runlog',{str(runlog)!r}]))"
+        )
+        env = {**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)}
+        proc = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening" in banner, banner
+            port = int(banner.rsplit(":", 1)[1].split()[0])
+            with HttpClient("127.0.0.1", port) as c:
+                final = submit_and_wait(c, spec_for(seed=11))
+                assert final["status"] == "ok"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining" in out and "stopped" in out
+        assert [json.loads(line)["kind"] for line in runlog.read_text().splitlines()] == ["serve"]
+
+
+# -- protocol odds and ends ------------------------------------------------
+
+
+class TestProtocol:
+    def test_ws_accept_key_rfc_vector(self):
+        # The worked example from RFC 6455 §1.3.
+        assert (
+            ws_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_ws_frame_sizes(self):
+        for size in (0, 1, 125, 126, 65535, 65536):
+            frame = ws_encode_frame(b"x" * size)
+            assert frame[0] == 0x80 | OP_TEXT
+            assert len(frame) >= size + 2
+        close = ws_encode_frame(b"", opcode=OP_CLOSE)
+        assert close[0] == 0x80 | OP_CLOSE
+
+    def test_http_413_on_oversized_body(self, served):
+        # The server rejects on the Content-Length header alone, before
+        # the body arrives — so only the head is sent here.
+        import socket
+
+        with socket.create_connection(("127.0.0.1", served.port), timeout=10) as sock:
+            declared = served.gateway.config.max_body + 1
+            sock.sendall(
+                b"POST /v1/jobs HTTP/1.1\r\nhost: t\r\n"
+                b"content-length: " + str(declared).encode() + b"\r\n\r\n"
+            )
+            status = sock.recv(4096).split(b" ")[1]
+            assert status == b"413"

@@ -669,3 +669,53 @@ class TestTraceFileHandling:
         )
         assert rc == 2
         assert "cannot write trace" in capsys.readouterr().err
+
+
+class TestPrometheusExposition:
+    def test_counters_and_histograms_render(self):
+        from repro.obs.prometheus import render_prometheus
+
+        reg = Registry()
+        reg.inc("service.jobs", 3)
+        for v in (0.01, 0.02, 0.03, 0.04):
+            reg.observe("service.job_wall_s", v)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_service_jobs counter" in text
+        assert "repro_service_jobs 3" in text
+        assert "# TYPE repro_service_job_wall_s summary" in text
+        assert 'repro_service_job_wall_s{quantile="0.5"}' in text
+        assert 'repro_service_job_wall_s{quantile="0.95"}' in text
+        assert 'repro_service_job_wall_s{quantile="0.99"}' in text
+        assert "repro_service_job_wall_s_count 4" in text
+        assert "repro_service_job_wall_s_sum 0.1" in text
+        assert text.endswith("\n")
+
+    def test_gauges_and_empty_snapshot(self):
+        from repro.obs.prometheus import render_prometheus
+
+        text = render_prometheus(
+            {"counters": {}, "histograms": {}},
+            gauges={"gateway.queue_depth": 2, "gateway.draining": 0},
+        )
+        assert "# TYPE repro_gateway_queue_depth gauge" in text
+        assert "repro_gateway_queue_depth 2" in text
+        assert "repro_gateway_draining 0" in text
+
+    def test_name_mangling(self):
+        from repro.obs.prometheus import metric_name
+
+        assert metric_name("service.job_wall_s") == "repro_service_job_wall_s"
+        assert metric_name("weird-name (x)") == "repro_weird_name__x_"
+        assert metric_name("9lives") == "repro__9lives"
+        assert metric_name("a.b", prefix="") == "a_b"
+
+    def test_quantiles_match_reservoir(self):
+        from repro.obs.prometheus import render_prometheus
+
+        reg = Registry()
+        for v in range(1, 101):
+            reg.observe("h", float(v))
+        snap = reg.snapshot()
+        text = render_prometheus(snap)
+        p95 = snap["histograms"]["h"]["p95"]
+        assert f'repro_h{{quantile="0.95"}} {p95!r}' in text

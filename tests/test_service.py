@@ -336,3 +336,115 @@ class TestArtworkBatchCli:
             artwork_batch_main(["--version"])
         assert exc.value.code == 0
         assert __version__ in capsys.readouterr().out
+
+
+def fast_stub_worker(payload: dict) -> dict:
+    return {"status": "ok", "name": payload.get("name", "?"),
+            "metrics": {}, "timing": {}, "seconds": 0.0}
+
+
+class TestSerialFastPath:
+    def test_engages_for_tiny_jobs(self):
+        sched = BatchScheduler(max_workers=4, serial_threshold=10.0)
+        outcomes = sched.run(specs_for(3))
+        assert all(o.ok for o in outcomes)
+        assert sched.counters.snapshot()["counters"]["service.serial_fast_path"] == 1
+        assert all(o.attempts == 1 for o in outcomes)
+
+    def test_matches_pool_results(self):
+        specs = specs_for(3, seed=20)
+        serial = BatchScheduler(max_workers=2, serial_threshold=10.0).run(specs)
+        fanned = BatchScheduler(max_workers=2, serial_threshold=None).run(specs)
+        assert [o.payload["escher"] for o in serial] == [
+            o.payload["escher"] for o in fanned
+        ]
+
+    def test_never_engages_for_custom_workers(self):
+        # Substituted workers may crash on purpose; they must stay in
+        # child processes even when jobs are fast.
+        sched = BatchScheduler(
+            max_workers=1, worker=fast_stub_worker, serial_threshold=10.0
+        )
+        outcomes = sched.run(specs_for(2))
+        assert all(o.ok for o in outcomes)
+        counters = sched.counters.snapshot()["counters"]
+        assert "service.serial_fast_path" not in counters
+
+    def test_slow_probe_falls_back_to_pool(self):
+        # An impossible threshold: the probe runs in-parent, the rest fan out.
+        sched = BatchScheduler(max_workers=2, serial_threshold=1e-9)
+        outcomes = sched.run(specs_for(3, seed=30))
+        assert all(o.ok for o in outcomes)
+        counters = sched.counters.snapshot()["counters"]
+        assert "service.serial_fast_path" not in counters
+        assert counters["service.jobs"] == 3
+
+
+class TestPoolBackedScheduler:
+    def test_runs_on_borrowed_warm_pool(self):
+        from repro.gateway import WorkerPool
+
+        specs = specs_for(3, seed=40)
+        with WorkerPool(2) as pool:
+            sched = BatchScheduler(max_workers=2, pool=pool)
+            first = sched.run(specs)
+            pids = {w["pid"] for w in pool.health()["workers"]}
+            second = sched.run(specs_for(2, seed=50))
+            assert {w["pid"] for w in pool.health()["workers"]} == pids
+        assert all(o.ok for o in first + second)
+        assert [o.spec.name for o in first] == [s.name for s in specs]
+        assert pool.health()["completed"] == 5
+
+    def test_pool_results_match_executor_results(self, tmp_path):
+        from repro.gateway import WorkerPool
+
+        specs = specs_for(2, seed=60)
+        plain = BatchScheduler(max_workers=1, serial_threshold=None).run(specs)
+        with WorkerPool(1) as pool:
+            pooled = BatchScheduler(max_workers=1, pool=pool).run(specs)
+        assert [o.payload["escher"] for o in plain] == [
+            o.payload["escher"] for o in pooled
+        ]
+
+    def test_pool_scheduler_uses_cache(self, tmp_path):
+        from repro.gateway import WorkerPool
+
+        cache = ResultCache(tmp_path / "cache")
+        specs = specs_for(2, seed=70)
+        with WorkerPool(1) as pool:
+            sched = BatchScheduler(max_workers=1, pool=pool, cache=cache)
+            first = sched.run(specs)
+            second = sched.run(specs)
+        assert all(not o.from_cache for o in first)
+        assert all(o.from_cache for o in second)
+
+
+class TestBatchCliWarm:
+    def _manifest(self, tmp_path, name, seed):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(
+            {"workload": {"kind": "random", "count": 2, "modules": 5, "seed": seed}}
+        ))
+        return path
+
+    def test_multi_manifest_keep_warm(self, tmp_path, capsys):
+        m1 = self._manifest(tmp_path, "m1", 80)
+        m2 = self._manifest(tmp_path, "m2", 90)
+        rc = artwork_batch_main(
+            [str(m1), str(m2), "-o", str(tmp_path / "out"),
+             "--keep-warm", "--workers", "2", "--no-svg", "-q"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4/4 jobs ok" in out
+        assert (tmp_path / "out" / "random_80.es").exists()
+        assert (tmp_path / "out" / "random_90.es").exists()
+
+    def test_serial_threshold_flag(self, tmp_path, capsys):
+        m1 = self._manifest(tmp_path, "m", 100)
+        rc = artwork_batch_main(
+            [str(m1), "-o", str(tmp_path / "out"), "--no-svg", "-q",
+             "--serial-threshold", "10"]
+        )
+        assert rc == 0
+        assert "2/2 jobs ok" in capsys.readouterr().out
