@@ -2,18 +2,21 @@
 """End-to-end smoke test for ``artwork-serve`` (the CI serve-smoke job).
 
 Starts the daemon as a real subprocess, submits the counter example over
-HTTP, streams its WebSocket progress events, checks ``/healthz`` and
-``/metrics``, then drains the daemon with SIGTERM and verifies it exited
-cleanly.  Exit code 0 = all good; diagnostics go to stdout.
+HTTP (with an explicit ``traceparent``, checking the id is echoed back),
+streams its WebSocket progress events, checks ``/healthz``,
+``/metrics``, ``/v1/stats`` and the per-job Chrome trace export, then
+drains the daemon with SIGTERM and verifies it exited cleanly.  Exit
+code 0 = all good; diagnostics go to stdout.
 
 Usage::
 
-    PYTHONPATH=src python scripts/serve_smoke.py [--runlog PATH]
+    PYTHONPATH=src python scripts/serve_smoke.py [--runlog PATH] [--trace PATH]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import subprocess
@@ -36,6 +39,7 @@ def fail(message: str) -> "SystemExit":
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runlog", default="serve-smoke-runlog.jsonl")
+    parser.add_argument("--trace", default="serve-smoke-trace.json")
     args = parser.parse_args()
 
     counter = REPO / "examples" / "counter"
@@ -54,7 +58,7 @@ def main() -> int:
             "-c",
             "import sys; from repro.cli import artwork_serve_main; "
             f"sys.exit(artwork_serve_main(['--port', '0', '--workers', '2', "
-            f"'--runlog', {args.runlog!r}]))",
+            f"'--slow-threshold', '0', '--runlog', {args.runlog!r}]))",
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -68,12 +72,23 @@ def main() -> int:
         port = int(banner.rsplit(":", 1)[1].split()[0])
         print(f"serve-smoke: daemon on port {port}")
 
+        trace_id = "f0" * 16
         with HttpClient("127.0.0.1", port) as client:
-            posted = client.post("/v1/jobs", spec.to_dict())
+            posted = client.request(
+                "POST",
+                "/v1/jobs",
+                spec.to_dict(),
+                headers={"traceparent": f"00-{trace_id}-{'1b' * 8}-01"},
+            )
             if posted.status != 202:
                 raise fail(f"submit got {posted.status}: {posted.body!r}")
+            if posted.headers.get("x-request-id") != trace_id:
+                raise fail(
+                    "traceparent not continued: x-request-id="
+                    f"{posted.headers.get('x-request-id')!r}"
+                )
             job_id = posted.json()["id"]
-            print(f"serve-smoke: submitted {job_id}")
+            print(f"serve-smoke: submitted {job_id} (trace {trace_id[:8]}…)")
 
             with WebSocketClient(
                 "127.0.0.1", port, f"/v1/jobs/{job_id}/events"
@@ -116,6 +131,30 @@ def main() -> int:
                     raise fail(f"/metrics missing {needle!r}")
             print("serve-smoke: metrics exposition ok")
 
+            stats = client.get("/v1/stats").json()
+            post_1m = stats.get("endpoints", {}).get("POST /v1/jobs", {}).get("1m", {})
+            if post_1m.get("count", 0) < 1 or post_1m.get("p50", 0.0) <= 0.0:
+                raise fail(f"/v1/stats has no live POST window: {post_1m}")
+            if "worker.exec" not in stats.get("stages", {}):
+                raise fail("/v1/stats missing worker.exec stage window")
+            print(
+                f"serve-smoke: stats ok ({post_1m['count']} req in 1m, "
+                f"p50 {post_1m['p50']}s)"
+            )
+
+            trace = client.get(f"/v1/jobs/{job_id}/trace")
+            if trace.status != 200:
+                raise fail(f"trace endpoint got {trace.status}")
+            doc = trace.json()
+            names = [e["name"] for e in doc.get("traceEvents", [])]
+            if not names or names[0] != "gateway.request":
+                raise fail(f"trace not rooted at gateway.request: {names[:3]}")
+            for needle in ("queue.wait", "worker.exec", "pablo.place", "eureka.route"):
+                if needle not in names:
+                    raise fail(f"trace missing {needle!r} span: {names}")
+            Path(args.trace).write_text(json.dumps(doc, indent=1))
+            print(f"serve-smoke: trace ok ({len(names)} spans -> {args.trace})")
+
         daemon.send_signal(signal.SIGTERM)
         out, _ = daemon.communicate(timeout=30)
         if daemon.returncode != 0:
@@ -130,7 +169,16 @@ def main() -> int:
 
     if not Path(args.runlog).exists():
         raise fail("daemon wrote no runlog")
-    print(f"serve-smoke: OK (runlog at {args.runlog})")
+    kinds = [
+        json.loads(line).get("kind")
+        for line in Path(args.runlog).read_text().splitlines()
+        if line.strip()
+    ]
+    if "serve" not in kinds:
+        raise fail(f"runlog has no serve record: {kinds}")
+    if "slow" not in kinds:  # --slow-threshold 0 captures every request
+        raise fail(f"runlog has no slow record: {kinds}")
+    print(f"serve-smoke: OK (runlog at {args.runlog}, kinds {sorted(set(kinds))})")
     return 0
 
 

@@ -737,6 +737,14 @@ def _artwork_serve_body(argv: list[str] | None) -> int:
         default=10.0,
         help="seconds to let in-flight jobs finish on shutdown",
     )
+    parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        help="latency (s) past which a request's span tree is persisted "
+        "to the runlog as a kind=slow exemplar (0 captures every request, "
+        "negative disables capture)",
+    )
     _obs_args(parser)
     args = parser.parse_args(argv)
     tracer = _obs_begin(args)
@@ -770,6 +778,7 @@ def _artwork_serve_run(args: argparse.Namespace) -> int:
         cache=cache,
         runlog=_runlog_for(args),
         drain_grace=args.drain_grace,
+        slow_threshold=args.slow_threshold if args.slow_threshold >= 0 else None,
     )
 
     async def main() -> None:

@@ -36,6 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs.trace import TraceContext, set_trace_context
 from ..service.scheduler import execute_job, run_with_timeout
 
 #: Sentinel for "use the pool's default timeout" in :meth:`WorkerPool.submit`.
@@ -73,7 +74,7 @@ def _worker_main(inbox, results, worker, wants_progress) -> None:
         item = inbox.get()
         if item is None:
             break
-        ticket, timeout, payload = item
+        ticket, timeout, payload, trace = item
         pid = os.getpid()
         if wants_progress:
             def emit(stage: str) -> None:
@@ -82,10 +83,17 @@ def _worker_main(inbox, results, worker, wants_progress) -> None:
             fn = lambda p: worker(p, progress=emit)  # noqa: E731 - tiny shim
         else:
             fn = worker
+        # Install the request's trace context for the duration of the job
+        # so worker-side spans carry the gateway's trace id.
+        previous = set_trace_context(
+            TraceContext.from_dict(trace) if trace else None
+        )
         try:
             result = run_with_timeout(fn, timeout, payload)
         except Exception as exc:  # noqa: BLE001 - the loop must survive bad workers
             result = _error_payload(payload, "error", f"{type(exc).__name__}: {exc}")
+        finally:
+            set_trace_context(previous)
         results.put((_MSG_DONE, ticket, pid, result))
 
 
@@ -98,6 +106,7 @@ class _Ticket:
     timeout: float | None
     callback: ResultCallback | None
     events: EventCallback | None
+    trace: dict | None = None
     attempts: int = 0
     dispatched_at: float | None = None
 
@@ -219,13 +228,17 @@ class WorkerPool:
         timeout: Any = _DEFAULT,
         callback: ResultCallback | None = None,
         events: EventCallback | None = None,
+        trace: dict | None = None,
     ) -> int:
         """Queue one job payload; returns its ticket number.
 
         ``callback(result_dict, attempts)`` fires exactly once per job on
         the collector thread; ``events`` receives ``{"type": ...}`` dicts
         (a ``dispatched`` marker from the parent, ``stage`` markers from
-        inside the worker) as they happen.
+        inside the worker) as they happen.  ``trace`` is an optional
+        serialized :class:`~repro.obs.trace.TraceContext` installed in
+        the worker for the job's duration, so worker-side spans join the
+        submitting request's trace.
         """
         if not self._started:
             self.start()
@@ -239,6 +252,7 @@ class WorkerPool:
                 timeout=self.timeout if timeout is _DEFAULT else timeout,
                 callback=callback,
                 events=events,
+                trace=trace,
             )
             self._inflight[ticket.ticket] = ticket
             self._backlog.append(ticket)
@@ -259,7 +273,9 @@ class WorkerPool:
             ticket.dispatched_at = time.monotonic()
             worker.busy = ticket
             self.dispatched += 1
-            worker.inbox.put((ticket.ticket, ticket.timeout, ticket.payload))
+            worker.inbox.put(
+                (ticket.ticket, ticket.timeout, ticket.payload, ticket.trace)
+            )
             if ticket.events is not None:
                 self._safe_event(ticket, {"type": "dispatched", "attempt": ticket.attempts})
 
@@ -390,6 +406,11 @@ class WorkerPool:
                     "pid": w.pid,
                     "alive": w.proc.is_alive(),
                     "busy": w.busy.ticket if w.busy is not None else None,
+                    "state": (
+                        "dead"
+                        if not w.proc.is_alive()
+                        else "busy" if w.busy is not None else "idle"
+                    ),
                     "age_s": round(time.monotonic() - w.spawned_at, 3),
                 }
                 for w in self._workers

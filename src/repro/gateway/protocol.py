@@ -22,6 +22,7 @@ import json
 import os
 import socket
 import struct
+import time
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
 
@@ -64,6 +65,8 @@ class HTTPRequest:
     headers: dict[str, str]
     body: bytes = b""
     version: str = "HTTP/1.1"
+    #: Wall-clock arrival time — anchors the request's root trace span.
+    received_at: float = field(default_factory=time.time)
 
     @property
     def keep_alive(self) -> bool:
@@ -176,15 +179,21 @@ def ws_accept_key(client_key: str) -> str:
     return base64.b64encode(digest).decode("latin-1")
 
 
-def ws_handshake_response(request: HTTPRequest) -> bytes:
+def ws_handshake_response(
+    request: HTTPRequest, *, extra_headers: dict[str, str] | None = None
+) -> bytes:
     key = request.headers.get("sec-websocket-key")
     if not key or request.headers.get("sec-websocket-version") != "13":
         raise ProtocolError("bad websocket handshake")
+    extra = "".join(
+        f"{name.lower()}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
     head = (
         "HTTP/1.1 101 Switching Protocols\r\n"
         "upgrade: websocket\r\n"
         "connection: Upgrade\r\n"
-        f"sec-websocket-accept: {ws_accept_key(key)}\r\n\r\n"
+        f"sec-websocket-accept: {ws_accept_key(key)}\r\n" + extra + "\r\n"
     )
     return head.encode("latin-1")
 
@@ -374,14 +383,15 @@ class WebSocketClient:
         )
         self._buffer = b""
         head = self._read_until(b"\r\n\r\n").decode("latin-1")
-        self.status = int(head.split("\r\n")[0].split(" ")[1])
+        lines = head.split("\r\n")
+        self.status = int(lines[0].split(" ")[1])
+        self.headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                self.headers[name.strip().lower()] = value.strip()
         if self.status == 101:
-            accept = [
-                line.partition(":")[2].strip()
-                for line in head.split("\r\n")
-                if line.lower().startswith("sec-websocket-accept")
-            ]
-            if accept != [ws_accept_key(key)]:
+            if self.headers.get("sec-websocket-accept") != ws_accept_key(key):
                 raise ProtocolError("bad handshake accept key")
 
     def _read_until(self, marker: bytes) -> bytes:

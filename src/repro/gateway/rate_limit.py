@@ -82,3 +82,24 @@ class RateLimiter:
             else:
                 self.allowed += 1
             return wait
+
+    def levels(self, *, limit: int | None = None) -> dict[str, float]:
+        """Current token level per tracked client, refill applied.
+
+        Read-only: buckets are not mutated, so scraping ``/metrics``
+        never perturbs limiting decisions.  With ``limit``, only the
+        ``limit`` *lowest* levels (the clients closest to throttling)
+        are returned — bounds exposition size under many clients.
+        """
+        now = self.clock()
+        with self._lock:
+            levels = {
+                key: min(
+                    bucket.burst,
+                    bucket.tokens + max(0.0, now - bucket.updated) * bucket.rate,
+                )
+                for key, bucket in self._buckets.items()
+            }
+        if limit is not None and len(levels) > limit:
+            levels = dict(sorted(levels.items(), key=lambda kv: kv[1])[:limit])
+        return {key: round(value, 3) for key, value in levels.items()}

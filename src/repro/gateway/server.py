@@ -19,10 +19,20 @@ Endpoints::
                               long-poll for completion)
     GET  /v1/jobs/{id}/result full payload (ESCHER text included)
     GET  /v1/jobs/{id}/svg    rendered artwork (image/svg+xml)
+    GET  /v1/jobs/{id}/trace  the request's span tree as Chrome trace
+                              JSON (gateway -> queue -> worker stages)
     WS   /v1/jobs/{id}/events streamed progress: queued -> running ->
                               stage:placement -> stage:routing -> done
+    GET  /v1/stats            windowed RED telemetry (1m/5m/15m qps,
+                              error %, p50/p95) + live gauges, JSON
     GET  /healthz             worker liveness + queue depth (always open)
     GET  /metrics             Prometheus text from the obs registry
+
+Every request carries a trace id — taken from an incoming
+``traceparent`` header or minted here — echoed as ``X-Request-Id`` on
+responses (WebSocket handshakes included), stamped on progress events,
+log lines and run records, and threaded through the worker pool so the
+spans a worker ships back re-parent under the request's root span.
 
 Completed jobs are folded into the obs registry exactly like the batch
 scheduler does (worker counters merged, ``service.job_wall_s``
@@ -40,6 +50,7 @@ import re
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from .. import __version__
 from ..core.netlist import NetlistError
@@ -47,6 +58,13 @@ from ..formats.escher import read_escher
 from ..obs import Registry, RunLog, get_logger, get_registry, span
 from ..obs.prometheus import render_prometheus
 from ..obs.runlog import stages_from_spans
+from ..obs.trace import (
+    Span,
+    TraceContext,
+    chrome_trace_document,
+    trace_context_from_headers,
+)
+from ..obs.window import WINDOWS, RollingWindow
 from ..render.svg import render_svg
 from ..service.cache import ResultCache
 from ..service.jobs import JobError, JobSpec
@@ -74,7 +92,27 @@ MAX_WAIT_S = 60.0
 #: Job states that will never change again.
 TERMINAL = ("ok", "error", "timeout", "crashed", "cancelled")
 
+#: Pipeline span names fed into the per-stage rolling windows (the
+#: coarse stages an operator watches — per-net spans stay out, they
+#: would dwarf everything else in cardinality).
+STAGE_WINDOW_SPANS = frozenset({
+    "pablo.place", "pablo.partitioning", "pablo.box_formation",
+    "pablo.module_placement", "pablo.box_placement",
+    "pablo.partition_placement", "pablo.terminal_placement",
+    "eureka.route", "eureka.plane", "eureka.claims",
+    "eureka.first_pass", "eureka.retry",
+})
+
 _SERVER = f"artwork-serve/{__version__}"
+
+
+def _walk_span_dicts(roots: list) -> Iterator[dict]:
+    """Depth-first walk over serialized span-tree dicts."""
+    stack = [r for r in roots if isinstance(r, dict)]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(c for c in node.get("children", []) if isinstance(c, dict))
 
 
 @dataclass
@@ -95,6 +133,10 @@ class GatewayConfig:
     max_body: int = 4 * 1024 * 1024
     #: Finished jobs kept for status/result queries (oldest evicted).
     max_finished_jobs: int = 4096
+    #: Jobs whose end-to-end gateway latency reaches this many seconds
+    #: persist their full span tree to the runlog as ``kind="slow"``
+    #: exemplars (``None`` disables capture; ``0.0`` captures everything).
+    slow_threshold: float | None = 1.0
 
 
 @dataclass
@@ -115,10 +157,30 @@ def _error(status: int, message: str, **headers: str) -> Response:
     return _json_response(status, {"error": message}, **headers)
 
 
+@dataclass
+class RequestContext:
+    """Per-request state the connection loop threads through dispatch:
+    the trace identity plus gateway-side timing breakdowns."""
+
+    trace: TraceContext
+    #: Gateway-side phase durations (``auth_s``, ``parse_s``) measured
+    #: as the request moves through dispatch.
+    timings: dict[str, float] = field(default_factory=dict)
+
+
 class ServedJob:
     """Gateway-side record of one submitted job."""
 
-    def __init__(self, job_id: str, spec: JobSpec, digest: str):
+    def __init__(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        digest: str,
+        *,
+        trace: TraceContext | None = None,
+        received_at: float | None = None,
+        gw_timings: dict[str, float] | None = None,
+    ):
         self.id = job_id
         self.spec = spec
         self.digest = digest
@@ -126,9 +188,13 @@ class ServedJob:
         self.payload: dict | None = None
         self.from_cache = False
         self.attempts = 0
+        #: When the submitting HTTP request hit the socket (root span start).
+        self.received_at = time.time() if received_at is None else received_at
         self.submitted_at = time.time()
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        self.trace = trace
+        self.gw_timings = dict(gw_timings or {})
         self.events: list[dict] = []
         self.subscribers: set[asyncio.Queue] = set()
         self.done = asyncio.Event()
@@ -137,8 +203,14 @@ class ServedJob:
     def finished(self) -> bool:
         return self.status in TERMINAL
 
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace.trace_id if self.trace is not None else None
+
     def add_event(self, event: str, **data) -> None:
         entry = {"seq": len(self.events), "event": event, "job": self.id, **data}
+        if self.trace is not None:
+            entry.setdefault("trace", self.trace.trace_id)
         self.events.append(entry)
         for queue in self.subscribers:
             queue.put_nowait(entry)
@@ -152,6 +224,7 @@ class ServedJob:
             "status": self.status,
             "cached": self.from_cache,
             "attempts": self.attempts,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -161,6 +234,7 @@ class ServedJob:
                 "result": f"/v1/jobs/{self.id}/result",
                 "svg": f"/v1/jobs/{self.id}/svg",
                 "events": f"/v1/jobs/{self.id}/events",
+                "trace": f"/v1/jobs/{self.id}/trace",
             },
         }
         if self.finished:
@@ -171,6 +245,86 @@ class ServedJob:
             if payload.get("error"):
                 body["error"] = payload["error"]
         return body
+
+    # -- the per-request span tree --------------------------------------
+
+    def trace_tree(self) -> Span | None:
+        """The job's whole life as one span tree: the gateway request at
+        the root, auth/parse/queue-wait/worker-exec beneath it, and the
+        worker-shipped pipeline spans re-parented under ``worker.exec``
+        (shifted from the worker's private timebase onto this one).
+        All starts are wall-clock epoch seconds."""
+        if not self.finished or self.finished_at is None:
+            return None
+        root = Span(
+            name="gateway.request",
+            start=self.received_at,
+            duration=max(0.0, self.finished_at - self.received_at),
+            attrs={
+                "trace_id": self.trace_id or "",
+                "method": "POST",
+                "path": "/v1/jobs",
+                "job": self.id,
+                "name": self.spec.name,
+                "status": self.status,
+                "cached": self.from_cache,
+            },
+        )
+        cursor = self.received_at
+        for phase in ("auth", "parse"):
+            seconds = float(self.gw_timings.get(f"{phase}_s", 0.0) or 0.0)
+            if seconds > 0.0:
+                root.children.append(
+                    Span(name=f"gateway.{phase}", start=cursor, duration=seconds)
+                )
+                cursor += seconds
+        if self.from_cache:
+            root.children.append(
+                Span(
+                    name="cache.hit",
+                    start=self.submitted_at,
+                    duration=max(0.0, self.finished_at - self.submitted_at),
+                )
+            )
+            return root
+        exec_start = self.started_at if self.started_at is not None else self.finished_at
+        worker_roots = [
+            Span.from_dict(d)
+            for d in (self.payload or {}).get("trace") or []
+            if isinstance(d, dict)
+        ]
+        if worker_roots:
+            # ``started_at`` is stamped when the event loop *notices* the
+            # pool's dispatched marker, which can lag the worker's actual
+            # start; if the shipped forest is wider than the observed exec
+            # window, pull exec start back so the forest still ends by
+            # ``finished_at`` (the hard wall-clock bound).
+            extent = max(r.start + r.duration for r in worker_roots) - min(
+                r.start for r in worker_roots
+            )
+            exec_start = max(
+                self.submitted_at, min(exec_start, self.finished_at - extent)
+            )
+        root.children.append(
+            Span(
+                name="queue.wait",
+                start=self.submitted_at,
+                duration=max(0.0, exec_start - self.submitted_at),
+            )
+        )
+        exec_span = Span(
+            name="worker.exec",
+            start=exec_start,
+            duration=max(0.0, self.finished_at - exec_start),
+            attrs={"attempts": self.attempts},
+        )
+        if worker_roots:
+            # One shift for the whole forest keeps the worker spans'
+            # relative timing intact while anchoring them at exec start.
+            offset = exec_start - min(r.start for r in worker_roots)
+            exec_span.children.extend(r.shifted(offset) for r in worker_roots)
+        root.children.append(exec_span)
+        return root
 
 
 class ArtworkGateway:
@@ -184,6 +338,11 @@ class ArtworkGateway:
         #: Gateway-local registry backing ``/metrics`` (also mirrored into
         #: the process-global registry, like the batch scheduler does).
         self.registry = Registry()
+        #: Rolling RED windows: per endpoint (every HTTP response) and per
+        #: pipeline stage (fed as jobs finish).  Swappable attributes so
+        #: tests can inject fake-clock windows.
+        self.windows = RollingWindow()
+        self.stage_windows = RollingWindow()
         self.log = get_logger("gateway")
         self.port: int | None = None
         self.started_at = 0.0
@@ -197,14 +356,20 @@ class ArtworkGateway:
         self._draining = False
         self._stopped = asyncio.Event()
         self._routes = [
-            ("POST", re.compile(r"^/v1/jobs$"), self._post_job),
-            ("GET", re.compile(r"^/v1/jobs$"), self._list_jobs),
-            ("GET", re.compile(r"^/v1/jobs/([^/]+)$"), self._job_status),
-            ("GET", re.compile(r"^/v1/jobs/([^/]+)/result$"), self._job_result),
-            ("GET", re.compile(r"^/v1/jobs/([^/]+)/svg$"), self._job_svg),
-            ("GET", re.compile(r"^/v1/jobs/([^/]+)/events$"), self._job_events_poll),
-            ("GET", re.compile(r"^/healthz$"), self._healthz),
-            ("GET", re.compile(r"^/metrics$"), self._metrics),
+            ("POST", re.compile(r"^/v1/jobs$"), "/v1/jobs", self._post_job),
+            ("GET", re.compile(r"^/v1/jobs$"), "/v1/jobs", self._list_jobs),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)$"), "/v1/jobs/{id}", self._job_status),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/result$"), "/v1/jobs/{id}/result",
+             self._job_result),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/svg$"), "/v1/jobs/{id}/svg",
+             self._job_svg),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/trace$"), "/v1/jobs/{id}/trace",
+             self._job_trace),
+            ("GET", re.compile(r"^/v1/jobs/([^/]+)/events$"), "/v1/jobs/{id}/events",
+             self._job_events_poll),
+            ("GET", re.compile(r"^/v1/stats$"), "/v1/stats", self._stats),
+            ("GET", re.compile(r"^/healthz$"), "/healthz", self._healthz),
+            ("GET", re.compile(r"^/metrics$"), "/metrics", self._metrics),
         ]
         self._ws_route = re.compile(r"^/v1/jobs/([^/]+)/events$")
 
@@ -278,12 +443,20 @@ class ArtworkGateway:
                     return
                 if request is None:
                     return
+                ctx = RequestContext(trace=trace_context_from_headers(request.headers))
                 started = time.perf_counter()
-                response = await self._dispatch(request, reader, writer, str(peer[0]))
+                response = await self._dispatch(
+                    request, reader, writer, str(peer[0]), ctx
+                )
                 if response is None:
                     return  # connection consumed (WebSocket stream)
                 self._observe_request(request, response, time.perf_counter() - started)
-                headers = {"server": _SERVER, **response.headers}
+                headers = {
+                    "server": _SERVER,
+                    "x-request-id": ctx.trace.trace_id,
+                    "traceparent": ctx.trace.traceparent(),
+                    **response.headers,
+                }
                 writer.write(
                     render_response(
                         response.status,
@@ -307,11 +480,29 @@ class ArtworkGateway:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    def _route_template(self, request: HTTPRequest) -> str:
+        """The request's endpoint label (``"POST /v1/jobs"``-style) for
+        the rolling windows — templates, not raw paths, so per-job URLs
+        don't explode series cardinality."""
+        if (
+            request.method == "GET"
+            and request.wants_websocket
+            and self._ws_route.match(request.path)
+        ):
+            return "WS /v1/jobs/{id}/events"
+        for method, pattern, template, _handler in self._routes:
+            if method == request.method and pattern.match(request.path):
+                return f"{method} {template}"
+        return "(other)"
+
     def _observe_request(self, request: HTTPRequest, response: Response, seconds: float) -> None:
         for reg in (self.registry, get_registry()):
             reg.inc("gateway.http_requests")
             reg.inc(f"gateway.http_status.{response.status // 100}xx")
             reg.observe("gateway.request_s", seconds)
+        self.windows.observe(
+            self._route_template(request), seconds, error=response.status >= 500
+        )
 
     async def _dispatch(
         self,
@@ -319,20 +510,26 @@ class ArtworkGateway:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         peer_host: str,
+        ctx: RequestContext,
     ) -> Response | None:
         guarded = request.path.startswith("/v1/")
         if guarded:
+            auth_started = time.perf_counter()
             token = self.config.auth.presented_token(request.headers)
-            if not self.config.auth.authorize(
+            authorized = self.config.auth.authorize(
                 request.headers, query_token=request.query.get("token")
-            ):
+            )
+            ctx.timings["auth_s"] = time.perf_counter() - auth_started
+            if not authorized:
                 self.registry.inc("gateway.auth_rejections")
                 get_registry().inc("gateway.auth_rejections")
                 return _error(
                     401, "missing or invalid token",
                     **{"www-authenticate": 'Bearer realm="artwork-serve"'},
                 )
-            if self.config.rate_limit is not None:
+            # /v1/stats is a monitoring read like /healthz: a dashboard
+            # polling it must never eat the API clients' token budget.
+            if self.config.rate_limit is not None and request.path != "/v1/stats":
                 wait = self.config.rate_limit.check(token or peer_host)
                 if wait > 0.0:
                     self.registry.inc("gateway.rate_limited")
@@ -344,9 +541,11 @@ class ArtworkGateway:
         ws_match = self._ws_route.match(request.path)
         if ws_match and request.method == "GET" and request.wants_websocket:
             with span("gateway.request", method="WS", path=request.path):
-                return await self._job_events_ws(request, reader, writer, ws_match.group(1))
+                return await self._job_events_ws(
+                    request, reader, writer, ws_match.group(1), ctx
+                )
         allowed: set[str] = set()
-        for method, pattern, handler in self._routes:
+        for method, pattern, _template, handler in self._routes:
             match = pattern.match(request.path)
             if not match:
                 continue
@@ -355,7 +554,7 @@ class ArtworkGateway:
                 continue
             with span("gateway.request", method=request.method, path=request.path):
                 try:
-                    return await handler(request, match)
+                    return await handler(request, match, ctx)
                 except ProtocolError as exc:  # e.g. a non-JSON body
                     return _error(exc.status, str(exc))
         if allowed:
@@ -377,21 +576,28 @@ class ArtworkGateway:
         if excess > 0:
             del self._finished_ids[:excess]
 
-    async def _post_job(self, request: HTTPRequest, _match) -> Response:
+    async def _post_job(self, request: HTTPRequest, _match, ctx: RequestContext) -> Response:
         if self._draining:
             return _error(503, "gateway is draining", **{"retry-after": "5"})
+        parse_started = time.perf_counter()
         data = request.json()  # ProtocolError -> 400 upstream
         try:
             spec = JobSpec.from_dict(data)
         except (JobError, NetlistError, ValueError, KeyError, TypeError) as exc:
             return _error(400, f"bad job spec: {exc}")
+        finally:
+            ctx.timings["parse_s"] = time.perf_counter() - parse_started
         digest = spec.digest
 
         # Dedup 1: the content-addressed result cache (completed earlier).
         if self.config.cache is not None:
             payload = self.config.cache.get(spec)
             if payload is not None:
-                job = ServedJob(self._new_job_id(), spec, digest)
+                job = ServedJob(
+                    self._new_job_id(), spec, digest,
+                    trace=ctx.trace, received_at=request.received_at,
+                    gw_timings=ctx.timings,
+                )
                 job.from_cache = True
                 self._install_job(job)
                 job.add_event("queued", cached=True)
@@ -419,7 +625,11 @@ class ArtworkGateway:
                 **{"retry-after": str(max(1, round(depth * 0.1)))},
             )
 
-        job = ServedJob(self._new_job_id(), spec, digest)
+        job = ServedJob(
+            self._new_job_id(), spec, digest,
+            trace=ctx.trace, received_at=request.received_at,
+            gw_timings=ctx.timings,
+        )
         self._install_job(job)
         self._by_digest[digest] = job.id
         loop = self._loop
@@ -433,7 +643,12 @@ class ArtworkGateway:
             loop.call_soon_threadsafe(self._on_pool_event, job_id, event)
 
         try:
-            self.pool.submit(spec.to_dict(), callback=on_done, events=on_event)
+            self.pool.submit(
+                spec.to_dict(),
+                callback=on_done,
+                events=on_event,
+                trace=ctx.trace.to_dict(),
+            )
         except PoolClosedError:
             self._forget_job(job)
             return _error(503, "gateway is draining", **{"retry-after": "5"})
@@ -475,7 +690,17 @@ class ArtworkGateway:
         if self._by_digest.get(job.digest) == job.id:
             del self._by_digest[job.digest]
         self._finished_ids.append(job.id)
+        self._observe_stages(job)
         self._record_job(job)
+        total = max(0.0, job.finished_at - job.received_at)
+        self._maybe_record_slow(job, total)
+        self.log.info(
+            "served job",
+            extra={"fields": {"job": job.spec.name, "id": job.id,
+                              "trace": job.trace_id or "",
+                              "status": job.status, "cached": job.from_cache,
+                              "seconds": round(total, 4)}},
+        )
         job.add_event(
             "done",
             status=job.status,
@@ -485,6 +710,68 @@ class ArtworkGateway:
         )
         job.done.set()
         self._retire_finished()
+
+    def _observe_stages(self, job: ServedJob) -> None:
+        """Feed one finished job into the per-stage rolling windows."""
+        if job.from_cache or job.finished_at is None:
+            return
+        exec_start = job.started_at if job.started_at is not None else job.finished_at
+        self.stage_windows.observe(
+            "queue.wait", max(0.0, exec_start - job.submitted_at)
+        )
+        self.stage_windows.observe(
+            "worker.exec",
+            max(0.0, job.finished_at - exec_start),
+            error=job.status != "ok",
+        )
+        for node in _walk_span_dicts((job.payload or {}).get("trace") or []):
+            name = node.get("name", "")
+            if name in STAGE_WINDOW_SPANS:
+                self.stage_windows.observe(name, float(node.get("duration", 0.0)))
+
+    def _maybe_record_slow(self, job: ServedJob, total: float) -> None:
+        """Persist a ``kind="slow"`` exemplar when the job's end-to-end
+        latency reached the configured threshold: the full span tree plus
+        the queue/worker breakdown, browsable via ``artwork-inspect``."""
+        threshold = self.config.slow_threshold
+        if threshold is None or total < threshold:
+            return
+        self.registry.inc("gateway.slow_requests")
+        get_registry().inc("gateway.slow_requests")
+        if self.config.runlog is None:
+            return
+        payload = job.payload or {}
+        exec_start = job.started_at if job.started_at is not None else job.finished_at
+        breakdown = {
+            "auth_s": round(float(job.gw_timings.get("auth_s", 0.0) or 0.0), 6),
+            "parse_s": round(float(job.gw_timings.get("parse_s", 0.0) or 0.0), 6),
+            "queue_wait_s": round(max(0.0, (exec_start or 0.0) - job.submitted_at), 6),
+            "worker_exec_s": round(
+                max(0.0, (job.finished_at or 0.0) - (exec_start or 0.0)), 6
+            ),
+            "total_s": round(total, 6),
+        }
+        root = job.trace_tree()
+        self.config.runlog.record(
+            kind="slow",
+            name=job.spec.name,
+            wall_seconds=round(total, 4),
+            spec_digest=job.digest,
+            stages=stages_from_spans(payload.get("trace") or []),
+            # An explicit empty snapshot: the default would capture the
+            # whole process-global registry per exemplar.
+            counters={"counters": {}, "histograms": {}},
+            profile="",
+            extra={
+                "trace_id": job.trace_id,
+                "job_id": job.id,
+                "status": job.status,
+                "from_cache": job.from_cache,
+                "threshold": threshold,
+                "breakdown": breakdown,
+                "spans": [root.to_dict()] if root is not None else [],
+            },
+        )
 
     def _record_job(self, job: ServedJob) -> None:
         """Fold one finished job into obs state, the result cache and the
@@ -534,6 +821,7 @@ class ArtworkGateway:
                     "from_cache": job.from_cache,
                     "attempts": job.attempts,
                     "job_id": job.id,
+                    "trace_id": job.trace_id,
                 },
             )
         if job.status != "ok":
@@ -546,7 +834,7 @@ class ArtworkGateway:
 
     # -- job queries -----------------------------------------------------
 
-    async def _job_status(self, request: HTTPRequest, match) -> Response:
+    async def _job_status(self, request: HTTPRequest, match, _ctx) -> Response:
         job = self._find_job(match.group(1))
         if job is None:
             return _error(404, f"no such job: {match.group(1)}")
@@ -561,13 +849,13 @@ class ArtworkGateway:
                 pass
         return _json_response(200, job.summary())
 
-    async def _list_jobs(self, _request: HTTPRequest, _match) -> Response:
+    async def _list_jobs(self, _request: HTTPRequest, _match, _ctx) -> Response:
         jobs = sorted(self._jobs.values(), key=lambda j: j.submitted_at, reverse=True)
         return _json_response(
             200, {"jobs": [j.summary() for j in jobs[:100]], "total": len(self._jobs)}
         )
 
-    async def _job_result(self, _request: HTTPRequest, match) -> Response:
+    async def _job_result(self, _request: HTTPRequest, match, _ctx) -> Response:
         job = self._find_job(match.group(1))
         if job is None:
             return _error(404, f"no such job: {match.group(1)}")
@@ -575,7 +863,7 @@ class ArtworkGateway:
             return _error(409, f"job {job.id} is {job.status}; result not ready")
         return _json_response(200, {**job.summary(), "payload": job.payload})
 
-    async def _job_svg(self, _request: HTTPRequest, match) -> Response:
+    async def _job_svg(self, _request: HTTPRequest, match, _ctx) -> Response:
         job = self._find_job(match.group(1))
         if job is None:
             return _error(404, f"no such job: {match.group(1)}")
@@ -587,9 +875,22 @@ class ArtworkGateway:
         diagram = read_escher(payload["escher"], job.spec.build_network())
         return Response(200, render_svg(diagram), content_type="image/svg+xml")
 
+    async def _job_trace(self, _request: HTTPRequest, match, _ctx) -> Response:
+        """The job's connected span tree as a Chrome trace-event document
+        (opens directly in ``chrome://tracing`` / Perfetto)."""
+        job = self._find_job(match.group(1))
+        if job is None:
+            return _error(404, f"no such job: {match.group(1)}")
+        if not job.finished:
+            return _error(409, f"job {job.id} is {job.status}; trace not ready")
+        root = job.trace_tree()
+        if root is None:
+            return _error(409, f"job {job.id} has no trace")
+        return _json_response(200, chrome_trace_document([root]))
+
     # -- progress streaming ----------------------------------------------
 
-    async def _job_events_poll(self, _request: HTTPRequest, match) -> Response:
+    async def _job_events_poll(self, _request: HTTPRequest, match, _ctx) -> Response:
         """Plain-HTTP fallback for the events endpoint (no Upgrade header):
         the full event history so far."""
         job = self._find_job(match.group(1))
@@ -603,12 +904,21 @@ class ArtworkGateway:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         job_id: str,
+        ctx: RequestContext,
     ) -> Response | None:
         job = self._find_job(job_id)
         if job is None:
             return _error(404, f"no such job: {job_id}")
         try:
-            writer.write(ws_handshake_response(request))
+            writer.write(
+                ws_handshake_response(
+                    request,
+                    extra_headers={
+                        "x-request-id": ctx.trace.trace_id,
+                        "traceparent": ctx.trace.traceparent(),
+                    },
+                )
+            )
             await writer.drain()
         except ProtocolError as exc:
             return _error(exc.status, str(exc))
@@ -672,7 +982,7 @@ class ArtworkGateway:
 
     # -- observability endpoints -----------------------------------------
 
-    async def _healthz(self, _request: HTTPRequest, _match) -> Response:
+    async def _healthz(self, _request: HTTPRequest, _match, _ctx) -> Response:
         # Force a liveness pass so a freshly killed worker is visible in
         # this very response, not one poll interval later.
         self.pool.reap()
@@ -695,8 +1005,41 @@ class ArtworkGateway:
         }
         return _json_response(200 if status == "ok" else 503, body)
 
-    async def _metrics(self, _request: HTTPRequest, _match) -> Response:
+    def _worker_states(self, health: dict) -> dict[str, int]:
+        states = {"idle": 0, "busy": 0, "dead": 0}
+        for worker in health["workers"]:
+            states[worker.get("state", "dead")] = states.get(worker.get("state", "dead"), 0) + 1
+        return states
+
+    def _window_series(self) -> dict[str, list[tuple[dict, float]]]:
+        """The rolling windows as labeled Prometheus series (zero-count
+        window entries are skipped to bound exposition size)."""
+        series: dict[str, list[tuple[dict, float]]] = {}
+
+        def emit(prefix: str, label_key: str, snapshot: dict) -> None:
+            for key, per_window in sorted(snapshot.items()):
+                for window, stats in per_window.items():
+                    if not stats["count"]:
+                        continue
+                    labels = {label_key: key, "window": window}
+                    series.setdefault(f"{prefix}_qps", []).append(
+                        (labels, stats["qps"])
+                    )
+                    series.setdefault(f"{prefix}_error_ratio", []).append(
+                        (labels, stats["error_ratio"])
+                    )
+                    for quantile in ("p50", "p95"):
+                        series.setdefault(f"{prefix}_seconds", []).append(
+                            ({**labels, "quantile": quantile}, stats[quantile])
+                        )
+
+        emit("gateway.request", "endpoint", self.windows.snapshot())
+        emit("gateway.stage", "stage", self.stage_windows.snapshot())
+        return series
+
+    async def _metrics(self, _request: HTTPRequest, _match, _ctx) -> Response:
         health = self.pool.health()
+        states = self._worker_states(health)
         gauges = {
             "gateway.queue_depth": health["queued"],
             "gateway.jobs_in_flight": health["in_flight"],
@@ -707,12 +1050,82 @@ class ArtworkGateway:
             "gateway.jobs_tracked": len(self._jobs),
             "gateway.draining": 1 if self._draining else 0,
         }
+        series = self._window_series()
+        series["gateway.workers"] = [
+            ({"state": state}, count) for state, count in sorted(states.items())
+        ]
         if self.config.cache is not None:
             stats = self.config.cache.stats
             gauges["gateway.cache_entries"] = len(self.config.cache)
             gauges["gateway.cache_hit_rate"] = round(stats.hit_rate, 4)
-        text = render_prometheus(self.registry.snapshot(), gauges=gauges)
+        if self.config.rate_limit is not None:
+            limiter = self.config.rate_limit
+            levels = limiter.levels(limit=32)
+            gauges["gateway.rate_clients"] = len(limiter.levels())
+            gauges["gateway.rate_allowed_total"] = limiter.allowed
+            gauges["gateway.rate_rejected_total"] = limiter.rejected
+            if levels:
+                series["gateway.rate_tokens"] = [
+                    ({"client": client}, tokens)
+                    for client, tokens in sorted(levels.items())
+                ]
+        text = render_prometheus(
+            self.registry.snapshot(), gauges=gauges, series=series
+        )
         return Response(200, text, content_type="text/plain; version=0.0.4")
+
+    async def _stats(self, _request: HTTPRequest, _match, _ctx) -> Response:
+        """Live telemetry JSON: windowed RED per endpoint and per stage,
+        plus instantaneous gauges — what ``artwork-top`` polls."""
+        health = self.pool.health()
+        states = self._worker_states(health)
+        body = {
+            "version": __version__,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "draining": self._draining,
+            "windows": dict(WINDOWS),
+            "endpoints": self.windows.snapshot(),
+            "stages": self.stage_windows.snapshot(),
+            "gauges": {
+                "queue_depth": health["queued"],
+                "in_flight": health["in_flight"],
+                "jobs_tracked": len(self._jobs),
+                "workers": {
+                    "size": health["size"],
+                    "alive": health["alive"],
+                    **states,
+                },
+            },
+            "totals": {
+                name: self.registry.get(name)
+                for name in (
+                    "gateway.http_requests",
+                    "gateway.jobs_submitted",
+                    "gateway.jobs_deduped",
+                    "gateway.slow_requests",
+                    "gateway.rate_limited",
+                    "gateway.auth_rejections",
+                    "gateway.queue_rejections",
+                    "gateway.ws_connections",
+                    "service.jobs",
+                    "service.cache_hits",
+                    "service.cache_misses",
+                )
+            },
+        }
+        if self.config.cache is not None:
+            body["gauges"]["cache"] = {
+                "entries": len(self.config.cache),
+                "hit_rate": round(self.config.cache.stats.hit_rate, 4),
+            }
+        if self.config.rate_limit is not None:
+            limiter = self.config.rate_limit
+            body["gauges"]["rate_limiter"] = {
+                "clients": len(limiter.levels()),
+                "allowed": limiter.allowed,
+                "rejected": limiter.rejected,
+            }
+        return _json_response(200, body)
 
 
 # -- embedding helpers (tests, benchmarks, notebooks) -----------------------

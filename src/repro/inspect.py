@@ -9,7 +9,10 @@ serves, so daemon traffic shows up alongside batch and bench runs —
 
 * ``record``  — run the generator on network files and append a RunRecord,
 * ``list``    — the run trajectory as a table,
-* ``show``    — one record in full (profile, quality, failures),
+* ``show``    — one record in full (profile, quality, failures, span tree;
+  ``--trace`` exports the span tree as Chrome trace JSON),
+* ``slow``    — the gateway's ``kind="slow"`` latency exemplars with their
+  auth/parse/queue/worker breakdowns,
 * ``diff``    — metric deltas between two runs,
 * ``report``  — self-contained HTML diagnostics report for a run,
 * ``regress`` — compare the latest (or freshly captured) run per workload
@@ -30,6 +33,7 @@ from pathlib import Path
 
 from .core.generator import generate
 from .obs import enable_tracing, setup_logging
+from .obs.trace import Span, chrome_trace_document
 from .obs.congestion import CongestionMap
 from .obs.report import write_html_report
 from .obs.runlog import (
@@ -175,6 +179,67 @@ def _cmd_show(args: argparse.Namespace) -> int:
         width = max(len(k) for k in counters)
         for key in sorted(counters):
             print(f"  {key:<{width}}  {counters[key]}")
+    extra = record.extra or {}
+    if extra.get("trace_id"):
+        print(f"\ntrace_id    {extra['trace_id']}")
+    if extra.get("breakdown"):
+        print("breakdown:")
+        for key, value in extra["breakdown"].items():
+            print(f"  {key:<16}{value:.6f}s")
+    spans = extra.get("spans") or []
+    if spans:
+        print("\nspans:")
+        for root in spans:
+            _print_span_tree(root)
+    if getattr(args, "trace", None):
+        if not spans:
+            raise _fail(f"run {record.run_id} carries no span tree")
+        roots = [Span.from_dict(s) for s in spans]
+        out = Path(args.trace)
+        out.write_text(json.dumps(chrome_trace_document(roots), indent=1))
+        print(f"\nchrome trace -> {out}")
+    return 0
+
+
+def _print_span_tree(node: dict, depth: int = 0) -> None:
+    duration = float(node.get("duration", 0.0))
+    print(f"  {'  ' * depth}{node.get('name', '?'):<{max(1, 40 - 2 * depth)}}"
+          f"{duration * 1e3:9.1f}ms")
+    for child in node.get("children", []):
+        _print_span_tree(child, depth + 1)
+
+
+# -- slow ------------------------------------------------------------------
+
+
+def _cmd_slow(args: argparse.Namespace) -> int:
+    """The gateway's slow-request exemplars, worst first."""
+    log = _load_log(args)
+    records = log.runs(kind="slow", name=args.name)
+    if not records:
+        print(f"no slow-request records in {log.path}")
+        return 0
+    records.sort(key=lambda r: r.wall_seconds, reverse=True)
+    if args.limit and len(records) > args.limit:
+        records = records[: args.limit]
+    rows = []
+    for record in records:
+        extra = record.extra or {}
+        breakdown = extra.get("breakdown", {})
+        rows.append(
+            {
+                "id": record.run_id,
+                "name": record.name,
+                "when": _when(record),
+                "trace": (extra.get("trace_id") or "—")[:16],
+                "status": extra.get("status", "?"),
+                "total_s": f"{record.wall_seconds:.3f}",
+                "queue_s": f"{breakdown.get('queue_wait_s', 0.0):.3f}",
+                "worker_s": f"{breakdown.get('worker_exec_s', 0.0):.3f}",
+            }
+        )
+    _print_table(f"slow requests ({log.path})", rows)
+    print("\nuse `artwork-inspect show <id> --trace out.json` for the span tree")
     return 0
 
 
@@ -407,7 +472,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_show = sub.add_parser("show", help="show one run in full")
     p_show.add_argument("run", help="run id (or unique prefix)")
     _runlog_arg(p_show)
+    p_show.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="export the record's span tree as Chrome trace JSON "
+        "(slow-request exemplars carry one)",
+    )
     p_show.set_defaults(func=_cmd_show)
+
+    p_slow = sub.add_parser(
+        "slow", help="list the gateway's slow-request exemplars"
+    )
+    _runlog_arg(p_slow)
+    p_slow.add_argument("--name", help="filter by workload name")
+    p_slow.add_argument("-n", "--limit", type=int, default=20, help="worst N only")
+    p_slow.set_defaults(func=_cmd_slow)
 
     p_diff = sub.add_parser("diff", help="metric deltas between two runs")
     p_diff.add_argument("base", help="baseline run id")

@@ -30,34 +30,55 @@ from .runlog import (
 from .report import render_html_report, write_html_report
 from .trace import (
     Span,
+    TraceContext,
     Tracer,
+    chrome_trace_document,
+    chrome_trace_events,
+    current_trace_context,
     enable_tracing,
     get_tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    set_trace_context,
     set_tracer,
     span,
+    trace_context_from_headers,
 )
+from .window import WINDOWS, RollingWindow
 
 __all__ = [
     "CongestionMap",
     "Registry",
     "Regression",
+    "RollingWindow",
     "RunLog",
     "RunRecord",
     "Span",
+    "TraceContext",
     "Tracer",
+    "WINDOWS",
     "add_log_argument",
     "check_regressions",
+    "chrome_trace_document",
+    "chrome_trace_events",
+    "current_trace_context",
     "diff_records",
     "enable_tracing",
     "get_logger",
     "get_registry",
     "get_tracer",
     "inc",
+    "new_span_id",
+    "new_trace_id",
     "observe",
+    "parse_traceparent",
     "render_html_report",
     "set_registry",
+    "set_trace_context",
     "set_tracer",
     "setup_logging",
     "span",
+    "trace_context_from_headers",
     "write_html_report",
 ]

@@ -2,17 +2,22 @@
 
 The gateway's ``GET /metrics`` endpoint renders a
 :meth:`~repro.obs.counters.Registry.snapshot` straight into the
-Prometheus text format (version 0.0.4): counters become ``counter``
-samples, histograms become ``summary`` families with p50/p95/p99
-quantiles from the reservoir, and callers can append point-in-time
-``gauge`` values (queue depth, worker liveness).  Dotted metric names
-are mangled to the ``[a-zA-Z0-9_:]`` charset Prometheus requires, so
+Prometheus text format (version 0.0.4).  Counters become ``counter``
+families, histograms become real ``histogram`` families — cumulative
+``_bucket{le="..."}`` counts estimated from the reservoir sample, plus
+``_sum``/``_count`` and the legacy ``{quantile="..."}`` convenience
+samples — and callers can append point-in-time ``gauge`` values (queue
+depth, worker liveness) as well as *labeled series* (the windowed RED
+telemetry: ``{endpoint="POST /v1/jobs",window="1m"}``).  Every family
+gets ``# HELP``/``# TYPE`` metadata.  Dotted metric names are mangled to
+the ``[a-zA-Z0-9_:]`` charset Prometheus requires, so
 ``service.job_wall_s`` scrapes as ``repro_service_job_wall_s``.
 """
 
 from __future__ import annotations
 
 import re
+from bisect import bisect_right
 
 #: Namespace every exported sample is prefixed with.
 PREFIX = "repro_"
@@ -21,6 +26,14 @@ _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Reservoir quantiles exported per histogram (label value -> percentile).
 SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+#: Cumulative bucket bounds (seconds) for histogram exposition; ``+Inf``
+#: is always appended.  Spans sub-millisecond claims work to minute-long
+#: jobs — the full dynamic range the pipeline observes.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
 
 
 def metric_name(name: str, *, prefix: str = PREFIX) -> str:
@@ -39,33 +52,107 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: dict | None) -> str:
+    """Render a label dict as ``{k="v",...}`` (empty dict -> '')."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _meta(lines: list[str], metric: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {metric} {help_text}")
+    lines.append(f"# TYPE {metric} {kind}")
+
+
+def bucket_counts(
+    samples: list[float], count: int, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+) -> list[tuple[float, int]]:
+    """Cumulative ``le`` counts estimated from a reservoir sample.
+
+    The reservoir is a uniform sample of the stream, so the fraction of
+    samples at or below each bound scales to the true ``count``; the
+    result is forced monotone and capped at ``count`` (the ``+Inf``
+    bucket, appended last, is always exactly ``count``).
+    """
+    ordered = sorted(samples)
+    out: list[tuple[float, int]] = []
+    previous = 0
+    for bound in bounds:
+        if ordered:
+            fraction = bisect_right(ordered, bound) / len(ordered)
+            at_most = round(fraction * count)
+        else:
+            at_most = 0
+        at_most = max(previous, min(count, at_most))
+        out.append((bound, at_most))
+        previous = at_most
+    out.append((float("inf"), count))
+    return out
+
+
 def render_prometheus(
     snapshot: dict,
     *,
     gauges: dict[str, float] | None = None,
+    series: dict[str, list[tuple[dict, float]]] | None = None,
+    help_texts: dict[str, str] | None = None,
     prefix: str = PREFIX,
 ) -> str:
-    """Render a registry snapshot (+ optional gauges) as exposition text.
+    """Render a registry snapshot (+ gauges + labeled series) as text.
 
     ``snapshot`` is the ``{"counters": ..., "histograms": ...}`` shape
     :meth:`Registry.snapshot` returns; ``gauges`` are extra
-    instantaneous values (already-final numbers, not deltas).
+    instantaneous values (already-final numbers, not deltas); ``series``
+    maps a dotted name to ``[(labels_dict, value), ...]`` sample lists
+    rendered as one labeled gauge family each.  ``help_texts`` overrides
+    the default HELP line (the dotted name) per dotted name.
     """
+    help_texts = help_texts or {}
+
+    def help_for(name: str, fallback: str) -> str:
+        return help_texts.get(name, fallback)
+
     lines: list[str] = []
     for name in sorted(snapshot.get("counters", {})):
         metric = metric_name(name, prefix=prefix)
-        lines.append(f"# TYPE {metric} counter")
+        _meta(lines, metric, "counter", help_for(name, f"Lifetime count of {name}."))
         lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
     for name in sorted(snapshot.get("histograms", {})):
         hist = snapshot["histograms"][name]
         metric = metric_name(name, prefix=prefix)
-        lines.append(f"# TYPE {metric} summary")
+        count = int(hist.get("count", 0))
+        _meta(lines, metric, "histogram", help_for(name, f"Distribution of {name}."))
+        for bound, at_most in bucket_counts(hist.get("samples", []), count):
+            le = "+Inf" if bound == float("inf") else _fmt(bound)
+            lines.append(f'{metric}_bucket{{le="{le}"}} {at_most}')
+        lines.append(f"{metric}_sum {_fmt(hist.get('total', 0.0))}")
+        lines.append(f"{metric}_count {count}")
+        # Legacy quantile samples (reservoir estimates) kept alongside the
+        # buckets so existing dashboards and the smoke checks still scrape.
         for label, key in SUMMARY_QUANTILES:
             lines.append(f'{metric}{{quantile="{label}"}} {_fmt(hist.get(key, 0.0))}')
-        lines.append(f"{metric}_sum {_fmt(hist.get('total', 0.0))}")
-        lines.append(f"{metric}_count {_fmt(hist.get('count', 0))}")
     for name in sorted(gauges or {}):
         metric = metric_name(name, prefix=prefix)
-        lines.append(f"# TYPE {metric} gauge")
+        _meta(lines, metric, "gauge", help_for(name, f"Current value of {name}."))
         lines.append(f"{metric} {_fmt(gauges[name])}")
+    for name in sorted(series or {}):
+        samples = series[name]
+        if not samples:
+            continue
+        metric = metric_name(name, prefix=prefix)
+        _meta(lines, metric, "gauge", help_for(name, f"Windowed series {name}."))
+        for labels, value in samples:
+            lines.append(f"{metric}{_labels(labels)} {_fmt(value)}")
     return "\n".join(lines) + "\n"

@@ -25,17 +25,118 @@ Spans survive process boundaries: :meth:`Span.to_dict` /
 :meth:`Tracer.adopt` grafts a serialized subtree (e.g. from a pool
 worker, whose clock is unrelated to ours) into the live trace,
 re-anchored on this tracer's timebase.
+
+Requests cross processes too: a :class:`TraceContext` carries a W3C
+``traceparent``-compatible trace id from the gateway's HTTP boundary
+into a pool worker (:func:`set_trace_context` /
+:func:`current_trace_context`), so the spans a worker ships back can be
+re-parented under the originating request's root span and every log
+line, WebSocket event and run record shares one correlation id.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import secrets
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
+
+#: ``traceparent`` header shape (W3C Trace Context, version 00).
+_TRACEPARENT = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity as it crosses process boundaries.
+
+    ``trace_id`` names the whole request; ``span_id`` is the id of the
+    current segment; ``parent_id`` is the caller's segment when the
+    request arrived with a ``traceparent`` header.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def traceparent(self) -> str:
+        """The context as a W3C ``traceparent`` header value."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    def to_dict(self) -> dict:
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        return cls(
+            trace_id=str(data.get("trace_id", "")) or new_trace_id(),
+            span_id=str(data.get("span_id", "")) or new_span_id(),
+            parent_id=data.get("parent_id") or None,
+        )
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse an incoming ``traceparent`` header; ``None`` when absent or
+    malformed (a bad header must not fail the request — a fresh trace
+    simply starts here)."""
+    if not header:
+        return None
+    match = _TRACEPARENT.match(header.strip().lower())
+    if match is None:
+        return None
+    _version, trace_id, span_id, _flags = match.groups()
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None  # the spec reserves the all-zero ids as invalid
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def trace_context_from_headers(headers: dict) -> TraceContext:
+    """The request's context: continue an incoming ``traceparent``
+    (keeping its trace id, becoming its child) or start a new trace."""
+    incoming = parse_traceparent(headers.get("traceparent"))
+    if incoming is not None:
+        return TraceContext(
+            trace_id=incoming.trace_id,
+            span_id=new_span_id(),
+            parent_id=incoming.span_id,
+        )
+    return TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+
+
+#: The ambient trace context of the job this process is running (set by
+#: the pool worker loop around each job; ``None`` between jobs).
+_TRACE_CONTEXT: TraceContext | None = None
+
+
+def set_trace_context(ctx: TraceContext | None) -> TraceContext | None:
+    """Install ``ctx`` as this process's ambient trace context; returns
+    the previous one so callers can restore it."""
+    global _TRACE_CONTEXT
+    previous, _TRACE_CONTEXT = _TRACE_CONTEXT, ctx
+    return previous
+
+
+def current_trace_context() -> TraceContext | None:
+    return _TRACE_CONTEXT
 
 
 @dataclass
@@ -144,6 +245,34 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+def chrome_trace_events(roots: Iterable[Span], *, pid: int | None = None) -> list[dict]:
+    """Flatten span trees into Chrome trace-event dicts (``ph: "X"``)."""
+    pid = os.getpid() if pid is None else pid
+    events: list[dict] = []
+    for root in roots:
+        for s in root.walk():
+            event = {
+                "name": s.name,
+                "ph": "X",
+                "ts": round(s.start * 1e6, 1),
+                "dur": round(s.duration * 1e6, 1),
+                "pid": pid,
+                "tid": s.tid or 0,
+            }
+            if s.attrs:
+                event["args"] = dict(s.attrs)
+            events.append(event)
+    return events
+
+
+def chrome_trace_document(roots: Iterable[Span], *, pid: int | None = None) -> dict:
+    """A complete ``chrome://tracing`` / Perfetto JSON document."""
+    return {
+        "traceEvents": chrome_trace_events(roots, pid=pid),
+        "displayTimeUnit": "ms",
+    }
+
+
 class Tracer:
     """Collects a forest of spans on a single process-local timebase."""
 
@@ -220,24 +349,9 @@ class Tracer:
 
     def chrome_trace(self) -> dict:
         """The run as Chrome trace-event JSON (``chrome://tracing``)."""
-        pid = os.getpid()
-        events = []
         with self._lock:
             roots = list(self.roots)
-        for root in roots:
-            for s in root.walk():
-                event = {
-                    "name": s.name,
-                    "ph": "X",
-                    "ts": round(s.start * 1e6, 1),
-                    "dur": round(s.duration * 1e6, 1),
-                    "pid": pid,
-                    "tid": s.tid or 0,
-                }
-                if s.attrs:
-                    event["args"] = dict(s.attrs)
-                events.append(event)
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return chrome_trace_document(roots)
 
     def write_chrome_trace(self, path: str | Path) -> Path:
         path = Path(path)

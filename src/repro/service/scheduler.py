@@ -39,7 +39,7 @@ from ..formats.escher import read_escher, write_escher
 from ..obs import get_logger, get_registry, get_tracer, span
 from ..obs.counters import Registry, set_registry
 from ..obs.runlog import RunLog, stages_from_spans
-from ..obs.trace import Tracer, set_tracer
+from ..obs.trace import Tracer, current_trace_context, set_tracer
 from .cache import ResultCache
 from .jobs import JobSpec
 
@@ -115,15 +115,23 @@ def execute_job(payload: dict, progress: Callable[[str], None] | None = None) ->
     registry = Registry()
     previous_tracer = set_tracer(tracer)
     previous_registry = set_registry(registry)
+    # When a gateway request's trace context rode along (installed by the
+    # pool's worker loop), stamp its trace id on the root span and the
+    # result so the parent can re-parent the spans under the request.
+    context = current_trace_context()
     try:
         spec = JobSpec.from_dict(payload)
-        with tracer.span("job", job=spec.name):
+        root_attrs = {"job": spec.name}
+        if context is not None:
+            root_attrs["trace_id"] = context.trace_id
+        with tracer.span("job", **root_attrs):
             result = generate(
                 spec.build_network(), spec.pablo, spec.eureka, progress=progress
             )
         return {
             "status": "ok",
             "name": spec.name,
+            **({"trace_id": context.trace_id} if context is not None else {}),
             "escher": write_escher(result.diagram),
             "metrics": dict(result.metrics.as_row()),
             "timing": dict(result.timing_row),
@@ -213,7 +221,7 @@ class BatchScheduler:
     #: Payload keys that describe *how* a run went, not *what* it made —
     #: merged into the parent's telemetry on arrival and kept out of the
     #: result cache (a warm hit must not replay the original run's spans).
-    TRANSIENT_KEYS = ("trace", "counters")
+    TRANSIENT_KEYS = ("trace", "counters", "trace_id")
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:

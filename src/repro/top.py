@@ -1,0 +1,179 @@
+"""``artwork-top``: a live terminal dashboard for ``artwork-serve``.
+
+Polls the gateway's ``GET /v1/stats`` endpoint and redraws a compact
+ANSI screen: per-endpoint RED rows (qps, error %, p50/p95) for the
+selected window, pipeline stage latencies, queue depth, worker states
+and cache/rate-limiter gauges.  Stdlib only — plain ANSI escapes on the
+alternate screen, no curses dependency — so it runs anywhere the
+gateway does::
+
+    artwork-top --port 8571                # live, redrawn every 2s
+    artwork-top --port 8571 --once         # one plain-text snapshot
+    artwork-top --port 8571 --window 5m    # watch the 5m window
+
+Rendering is a pure function of the stats payload
+(:func:`render_dashboard`), so tests drive it without a terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .gateway.protocol import HttpClient
+
+#: ANSI: clear screen + home, enter/leave the alternate screen.
+_CLEAR = "\x1b[2J\x1b[H"
+_ALT_ON = "\x1b[?1049h\x1b[?25l"
+_ALT_OFF = "\x1b[?1049l\x1b[?25h"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 10.0:
+        return f"{seconds:.1f}s"
+    if seconds >= 0.0995:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _red_rows(table: dict, window: str) -> list[tuple[str, dict]]:
+    """(key, stats) rows for one window, busiest first, idle keys last."""
+    rows = []
+    for key, per_window in table.items():
+        stats = per_window.get(window)
+        if stats is None:
+            continue
+        rows.append((key, stats))
+    rows.sort(key=lambda kv: (-kv[1]["count"], kv[0]))
+    return rows
+
+
+def _red_section(title: str, table: dict, window: str, width: int) -> list[str]:
+    lines = [f"{title}  ({window} window)"]
+    header = f"  {'':<{width}}  {'qps':>8}  {'err%':>6}  {'p50':>8}  {'p95':>8}  {'n':>6}"
+    lines.append(header)
+    rows = _red_rows(table, window)
+    if not rows:
+        lines.append("  (no traffic yet)")
+        return lines
+    for key, stats in rows:
+        lines.append(
+            f"  {key:<{width}}  {stats['qps']:>8.3f}  "
+            f"{100.0 * stats['error_ratio']:>5.1f}%  "
+            f"{_fmt_seconds(stats['p50']):>8}  {_fmt_seconds(stats['p95']):>8}  "
+            f"{stats['count']:>6}"
+        )
+    return lines
+
+
+def render_dashboard(stats: dict, *, window: str = "1m") -> str:
+    """The whole dashboard as plain text (no ANSI) for one stats payload."""
+    gauges = stats.get("gauges", {})
+    workers = gauges.get("workers", {})
+    totals = stats.get("totals", {})
+    lines = [
+        f"artwork-serve {stats.get('version', '?')}"
+        f"  up {stats.get('uptime_s', 0.0):.0f}s"
+        + ("  DRAINING" if stats.get("draining") else ""),
+        "",
+        f"queue {gauges.get('queue_depth', 0)}"
+        f"  in-flight {gauges.get('in_flight', 0)}"
+        f"  jobs tracked {gauges.get('jobs_tracked', 0)}"
+        f"  workers {workers.get('alive', 0)}/{workers.get('size', 0)}"
+        f" (busy {workers.get('busy', 0)}, idle {workers.get('idle', 0)}"
+        + (f", dead {workers['dead']}" if workers.get("dead") else "")
+        + ")",
+    ]
+    cache = gauges.get("cache")
+    limiter = gauges.get("rate_limiter")
+    extras = []
+    if cache is not None:
+        extras.append(
+            f"cache {cache.get('entries', 0)} entries,"
+            f" {100.0 * cache.get('hit_rate', 0.0):.0f}% hit"
+        )
+    hits = totals.get("service.cache_hits", 0)
+    jobs = totals.get("service.jobs", 0)
+    if jobs:
+        extras.append(f"dedup/cache served {hits}/{jobs} jobs")
+    if limiter is not None:
+        extras.append(
+            f"rate-limiter {limiter.get('clients', 0)} clients,"
+            f" {limiter.get('rejected', 0)} rejected"
+        )
+    if totals.get("gateway.slow_requests"):
+        extras.append(f"slow requests {totals['gateway.slow_requests']}")
+    if extras:
+        lines.append("  ".join(extras))
+    key_width = max(
+        [len(k) for k in stats.get("endpoints", {})]
+        + [len(k) for k in stats.get("stages", {})]
+        + [24]
+    )
+    lines.append("")
+    lines.extend(_red_section("endpoints", stats.get("endpoints", {}), window, key_width))
+    lines.append("")
+    lines.extend(_red_section("stages", stats.get("stages", {}), window, key_width))
+    return "\n".join(lines)
+
+
+def _fetch_stats(client: HttpClient) -> dict:
+    response = client.get("/v1/stats")
+    if response.status != 200:
+        raise RuntimeError(f"/v1/stats returned {response.status}: {response.body!r}")
+    return response.json()
+
+
+def top_main(argv: list[str] | None = None) -> int:
+    """Live serving telemetry for an ``artwork-serve`` daemon: qps,
+    latency percentiles, error rates, queue depth and worker states,
+    refreshed from ``GET /v1/stats``."""
+    parser = argparse.ArgumentParser(prog="artwork-top", description=top_main.__doc__)
+    parser.add_argument("--host", default="127.0.0.1", help="gateway host")
+    parser.add_argument("--port", type=int, default=8571, help="gateway port")
+    parser.add_argument("--token", default=None, help="API token (if auth is on)")
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    parser.add_argument(
+        "--window",
+        default="1m",
+        choices=("1m", "5m", "15m"),
+        help="which rolling window to display",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit (no ANSI)"
+    )
+    args = parser.parse_args(argv)
+
+    client = HttpClient(args.host, args.port, token=args.token)
+    try:
+        if args.once:
+            print(render_dashboard(_fetch_stats(client), window=args.window))
+            return 0
+        sys.stdout.write(_ALT_ON)
+        sys.stdout.flush()
+        try:
+            while True:
+                board = render_dashboard(_fetch_stats(client), window=args.window)
+                sys.stdout.write(
+                    _CLEAR + board
+                    + f"\n\nrefresh {args.interval:g}s — ctrl-c to quit\n"
+                )
+                sys.stdout.flush()
+                time.sleep(max(0.1, args.interval))
+        finally:
+            sys.stdout.write(_ALT_OFF)
+            sys.stdout.flush()
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError, RuntimeError) as exc:
+        print(f"artwork-top: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(top_main())

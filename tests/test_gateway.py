@@ -357,12 +357,15 @@ class TestGatewayHTTP:
         assert metrics.status == 200
         assert metrics.headers["content-type"].startswith("text/plain")
         text = metrics.body.decode()
-        assert "# TYPE repro_service_job_wall_s summary" in text
+        assert "# TYPE repro_service_job_wall_s histogram" in text
+        assert 'repro_service_job_wall_s_bucket{le="+Inf"}' in text
         assert 'repro_service_job_wall_s{quantile="0.5"}' in text
         assert 'repro_service_job_wall_s{quantile="0.95"}' in text
         assert "repro_service_jobs" in text
         assert "repro_gateway_workers_alive 1" in text
         assert "repro_gateway_http_requests" in text
+        assert 'repro_gateway_workers{state="idle"} 1' in text
+        assert 'repro_gateway_request_qps{endpoint="POST /v1/jobs",window="1m"}' in text
 
     def test_serve_runlog_records(self, served, client):
         submit_and_wait(client, spec_for(seed=5))
@@ -372,6 +375,128 @@ class TestGatewayHTTP:
         assert last.extra["status"] == "ok"
         assert last.extra["job_id"].startswith("j")
         assert last.spec_digest
+
+
+class TestGatewayTelemetry:
+    """End-to-end request tracing: traceparent continuation, one span
+    tree per served job, trace ids on every surface, live stats."""
+
+    def test_traceparent_continuation_and_echo(self, client):
+        incoming = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+        posted = client.request(
+            "POST", "/v1/jobs", spec_for(seed=21).to_dict(),
+            headers={"traceparent": incoming},
+        )
+        assert posted.status in (200, 202)
+        assert posted.headers["x-request-id"] == "ab" * 16
+        _version, trace_id, span_id, _flags = posted.headers["traceparent"].split("-")
+        assert trace_id == "ab" * 16
+        assert span_id != "cd" * 8  # a fresh child span, not the caller's
+
+    def test_request_id_minted_without_traceparent(self, client):
+        response = client.get("/healthz")
+        request_id = response.headers["x-request-id"]
+        assert len(request_id) == 32 and request_id != "0" * 32
+        assert response.headers["traceparent"].startswith(f"00-{request_id}-")
+
+    def test_trace_id_survives_fork_and_tags_everything(self, served, client):
+        incoming = "00-" + "5a" * 16 + "-" + "0f" * 8 + "-01"
+        posted = client.request(
+            "POST", "/v1/jobs", spec_for(seed=22).to_dict(),
+            headers={"traceparent": incoming},
+        )
+        job_id = posted.json()["id"]
+        final = client.get(f"/v1/jobs/{job_id}?wait=30").json()
+        assert final["trace_id"] == "5a" * 16
+        payload = client.get(f"/v1/jobs/{job_id}/result").json()["payload"]
+        assert payload["trace_id"] == "5a" * 16  # crossed the fork boundary
+        records = [
+            r for r in served.gateway.config.runlog.runs(kind="serve")
+            if r.extra["job_id"] == job_id
+        ]
+        assert records and records[0].extra["trace_id"] == "5a" * 16
+
+    def test_trace_endpoint_returns_one_connected_tree(self, client):
+        final = submit_and_wait(client, spec_for(seed=23))
+        doc = client.get(f"/v1/jobs/{final['id']}/trace")
+        assert doc.status == 200
+        events = doc.json()["traceEvents"]
+        names = [e["name"] for e in events]
+        assert names[0] == "gateway.request"
+        for required in ("gateway.auth", "gateway.parse", "queue.wait",
+                         "worker.exec", "pablo.place", "eureka.route"):
+            assert required in names, names
+        root = events[0]
+        end = root["ts"] + root["dur"]
+        assert all(root["ts"] <= e["ts"] <= end + 1 for e in events)
+
+    def test_cached_replay_gets_its_own_trace_id(self, client):
+        spec = spec_for(seed=24)
+        first = submit_and_wait(client, spec)
+        again = client.post("/v1/jobs", spec.to_dict()).json()
+        assert again["cached"] is True
+        assert again["trace_id"] != first["trace_id"]
+
+    def test_ws_handshake_and_events_carry_trace(self, served, client):
+        posted = client.post("/v1/jobs", spec_for(seed=25, modules=8).to_dict())
+        job_id = posted.json()["id"]
+        with WebSocketClient("127.0.0.1", served.port, f"/v1/jobs/{job_id}/events") as ws:
+            request_id = ws.headers["x-request-id"]
+            assert len(request_id) == 32
+            events = []
+            while True:
+                event = ws.recv_json()
+                if event is None:
+                    break
+                events.append(event)
+        assert events
+        # Every event in the stream is stamped with the job's trace id.
+        assert len({e["trace"] for e in events}) == 1
+
+    def test_stats_reports_live_windows(self, client):
+        submit_and_wait(client, spec_for(seed=26))
+        stats = client.get("/v1/stats").json()
+        assert set(stats["windows"]) == {"1m", "5m", "15m"}
+        post = stats["endpoints"]["POST /v1/jobs"]["1m"]
+        assert post["count"] >= 1 and post["qps"] > 0
+        assert post["p95"] >= post["p50"] >= 0
+        assert "worker.exec" in stats["stages"]
+        assert stats["gauges"]["workers"]["size"] == 1
+        assert stats["totals"]["gateway.http_requests"] >= 1
+
+
+class TestSlowRequestCapture:
+    def _config(self, tmp_path, threshold):
+        from repro.obs import RunLog
+
+        config = GatewayConfig(workers=1, slow_threshold=threshold)
+        config.runlog = RunLog(tmp_path / "runlog.jsonl")
+        return config
+
+    def test_zero_threshold_captures_everything(self, tmp_path):
+        config = self._config(tmp_path, 0.0)
+        with start_gateway(config) as served:
+            with HttpClient("127.0.0.1", served.port) as c:
+                final = submit_and_wait(c, spec_for(seed=27))
+        records = config.runlog.runs(kind="slow")
+        assert records
+        slow = records[-1]
+        assert slow.extra["trace_id"] == final["trace_id"]
+        breakdown = slow.extra["breakdown"]
+        assert set(breakdown) >= {
+            "auth_s", "parse_s", "queue_wait_s", "worker_exec_s", "total_s"
+        }
+        assert breakdown["total_s"] >= breakdown["worker_exec_s"] >= 0
+        spans = slow.extra["spans"]
+        assert spans and spans[0]["name"] == "gateway.request"
+        assert any(s["name"] == "worker.exec" for s in spans[0]["children"])
+
+    def test_none_threshold_disables_capture(self, tmp_path):
+        config = self._config(tmp_path, None)
+        with start_gateway(config) as served:
+            with HttpClient("127.0.0.1", served.port) as c:
+                submit_and_wait(c, spec_for(seed=28))
+        assert config.runlog.runs(kind="slow") == []
 
 
 class TestGatewayGuards:

@@ -680,15 +680,63 @@ class TestPrometheusExposition:
         for v in (0.01, 0.02, 0.03, 0.04):
             reg.observe("service.job_wall_s", v)
         text = render_prometheus(reg.snapshot())
+        assert "# HELP repro_service_jobs " in text
         assert "# TYPE repro_service_jobs counter" in text
         assert "repro_service_jobs 3" in text
-        assert "# TYPE repro_service_job_wall_s summary" in text
+        assert "# TYPE repro_service_job_wall_s histogram" in text
         assert 'repro_service_job_wall_s{quantile="0.5"}' in text
         assert 'repro_service_job_wall_s{quantile="0.95"}' in text
         assert 'repro_service_job_wall_s{quantile="0.99"}' in text
+        assert 'repro_service_job_wall_s_bucket{le="+Inf"} 4' in text
         assert "repro_service_job_wall_s_count 4" in text
         assert "repro_service_job_wall_s_sum 0.1" in text
         assert text.endswith("\n")
+
+    def test_histogram_buckets_cumulative_and_monotone(self):
+        from repro.obs.prometheus import render_prometheus
+
+        reg = Registry()
+        for v in (0.002, 0.02, 0.2, 2.0, 20.0):
+            reg.observe("h", v)
+        text = render_prometheus(reg.snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_h_bucket{")
+        ]
+        assert counts, "no bucket lines rendered"
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 5, "+Inf bucket must equal the total count"
+        # All five observations sit at or below distinct default bounds.
+        assert 'repro_h_bucket{le="0.0025"} 1' in text
+        assert 'repro_h_bucket{le="0.025"} 2' in text
+
+    def test_labeled_series(self):
+        from repro.obs.prometheus import render_prometheus
+
+        text = render_prometheus(
+            {"counters": {}, "histograms": {}},
+            series={
+                "gateway.request_qps": [
+                    ({"endpoint": "POST /v1/jobs", "window": "1m"}, 0.25),
+                    ({"endpoint": "GET /healthz", "window": "5m"}, 1.5),
+                ],
+                "gateway.empty": [],
+            },
+        )
+        assert "# TYPE repro_gateway_request_qps gauge" in text
+        assert 'repro_gateway_request_qps{endpoint="POST /v1/jobs",window="1m"} 0.25' in text
+        assert 'repro_gateway_request_qps{endpoint="GET /healthz",window="5m"} 1.5' in text
+        assert "repro_gateway_empty" not in text
+
+    def test_label_values_escaped(self):
+        from repro.obs.prometheus import render_prometheus
+
+        text = render_prometheus(
+            {"counters": {}, "histograms": {}},
+            series={"g": [({"client": 'tok"en\\x\n'}, 1)]},
+        )
+        assert 'repro_g{client="tok\\"en\\\\x\\n"} 1' in text
 
     def test_gauges_and_empty_snapshot(self):
         from repro.obs.prometheus import render_prometheus
