@@ -732,6 +732,31 @@ def _artwork_serve_body(argv: list[str] | None) -> int:
         "--max-cache-entries", type=int, default=None, help="LRU bound on the cache"
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        help="write-ahead journal file for accepted jobs; replayed on boot "
+        "so queued/in-flight work survives restarts (omit to disable)",
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        choices=("always", "interval", "never"),
+        default="always",
+        help="journal durability: fsync every append, at most once per "
+        "interval, or leave it to the OS",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection spec, e.g. 'cache.read=io:0.5,worker.exec=crash:1' "
+        "(default: $ARTWORK_FAULTS; chaos testing only)",
+    )
+    parser.add_argument(
+        "--faults-seed",
+        type=int,
+        default=None,
+        help="seed for fault-injection draws (default: $ARTWORK_FAULTS_SEED or 0)",
+    )
+    parser.add_argument(
         "--drain-grace",
         type=float,
         default=10.0,
@@ -758,15 +783,35 @@ def _artwork_serve_run(args: argparse.Namespace) -> int:
     import asyncio
     import signal as _signal
 
-    from .gateway import ArtworkGateway, GatewayConfig, RateLimiter, TokenAuth
+    from .faults import ENV_FAULTS, ENV_SEED, FaultRegistry, FaultSpecError, set_faults
+    from .gateway import ArtworkGateway, GatewayConfig, JobJournal, RateLimiter, TokenAuth
 
     if args.workers < 1:
         raise _fail("--workers must be at least 1")
+    if args.faults is not None or args.faults_seed is not None:
+        # CLI flags override the environment — and land *in* the
+        # environment too, so spawn-started workers rebuild the same table.
+        seed = (
+            args.faults_seed
+            if args.faults_seed is not None
+            else int(os.environ.get(ENV_SEED, "0") or "0")
+        )
+        try:
+            set_faults(FaultRegistry(args.faults or "", seed=seed))
+        except FaultSpecError as exc:
+            raise _fail(f"--faults: {exc}")
+        os.environ[ENV_FAULTS] = args.faults or ""
+        os.environ[ENV_SEED] = str(seed)
     auth = TokenAuth(args.token) if args.token else TokenAuth.from_env()
-    limiter = RateLimiter(args.rate, args.burst) if args.rate > 0 else None
+    limiter = (
+        RateLimiter(args.rate, args.burst, jitter=0.25) if args.rate > 0 else None
+    )
     cache = None
     if args.cache:
         cache = ResultCache(args.cache, max_entries=args.max_cache_entries)
+    journal = (
+        JobJournal(args.journal, fsync=args.journal_fsync) if args.journal else None
+    )
     config = GatewayConfig(
         host=args.host,
         port=args.port,
@@ -777,6 +822,7 @@ def _artwork_serve_run(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         cache=cache,
         runlog=_runlog_for(args),
+        journal=journal,
         drain_grace=args.drain_grace,
         slow_threshold=args.slow_threshold if args.slow_threshold >= 0 else None,
     )

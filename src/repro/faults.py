@@ -1,0 +1,249 @@
+"""Deterministic fault injection: named failpoints for chaos testing.
+
+Every interesting way the serving stack can degrade — a cache read
+hitting bad sectors, a worker segfaulting mid-job, the journal losing
+its tail in a power cut — is represented by a **named injection point**
+compiled into the production code path.  In normal operation a point is
+a dict lookup that misses; under a configured :class:`FaultRegistry` it
+fires deterministically, so CI can drive the gateway through every
+failure mode and assert the recovery invariants instead of hoping an
+accident reproduces.
+
+Activation is environment- or test-driven::
+
+    ARTWORK_FAULTS="cache.read=io:0.5,worker.exec=crash:1" artwork-serve ...
+    ARTWORK_FAULTS_SEED=42  # per-point RNG seed (default 0)
+
+The spec grammar is ``point=kind[:probability[:arg]]`` joined by commas:
+
+``io``
+    raise :class:`FaultInjected` (an ``OSError``) at the point — the
+    caller's corruption/IO recovery path must absorb it.
+``crash``
+    ``os._exit(13)`` — simulates a segfault / OOM kill.  Only sane
+    inside worker processes; the pool's supervision must recover.
+``sleep``
+    ``time.sleep(arg or 1.0)`` — simulates a stall (drives timeout,
+    deadline and kill-escalation paths).  ``arg`` is seconds.
+``corrupt``
+    the point is expected to *partially* apply its effect then raise —
+    writers use it to leave a torn record behind (``arg`` unused).
+
+``probability`` defaults to 1.0.  Draws come from a per-point
+``random.Random`` seeded with ``(seed, point name)``, so two runs with
+the same seed inject the identical fault sequence at every point,
+independently of how other points interleave.
+
+Known injection points (grep for ``fault(`` to audit):
+
+========================  ==================================================
+``cache.read``            :meth:`repro.service.cache.ResultCache.get`
+``cache.write``           :meth:`repro.service.cache.ResultCache.put`
+``worker.exec``           :func:`repro.gateway.pool._worker_main`, before
+                          the job runs (fires in the *worker* process)
+``pool.ipc``              worker→parent result delivery, before the
+                          ``done`` message is queued
+``journal.append``        :meth:`repro.gateway.journal.JobJournal.append`
+========================  ==================================================
+
+Worker processes inherit the registry through ``fork`` (or re-read the
+environment under ``spawn``), so configuring faults before the pool
+starts covers both sides of the process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+ENV_FAULTS = "ARTWORK_FAULTS"
+ENV_SEED = "ARTWORK_FAULTS_SEED"
+
+#: Fault kinds the registry understands.
+KINDS = ("io", "crash", "sleep", "corrupt")
+
+#: Exit code an injected ``crash`` dies with (distinct from real faults
+#: in test assertions).
+CRASH_EXIT_CODE = 13
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``ARTWORK_FAULTS`` spec string."""
+
+
+class FaultInjected(OSError):
+    """The error an ``io``/``corrupt`` failpoint raises when it fires."""
+
+    def __init__(self, point: str, kind: str = "io"):
+        super().__init__(f"injected {kind} fault at {point!r}")
+        self.point = point
+        self.kind = kind
+
+
+class Fault:
+    """One configured failpoint: kind + firing probability + argument."""
+
+    __slots__ = ("point", "kind", "probability", "arg", "rng", "fired")
+
+    def __init__(
+        self,
+        point: str,
+        kind: str,
+        probability: float = 1.0,
+        arg: float | None = None,
+        seed: int = 0,
+    ):
+        if kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r} at {point!r} (want one of {KINDS})"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise FaultSpecError(
+                f"fault probability must be in [0, 1], got {probability} at {point!r}"
+            )
+        self.point = point
+        self.kind = kind
+        self.probability = probability
+        self.arg = arg
+        # Per-point stream: the draw sequence at one point is a pure
+        # function of (seed, point), whatever other points do.
+        self.rng = random.Random(f"{seed}:{point}")
+        self.fired = 0
+
+    def should_fire(self) -> bool:
+        if self.probability >= 1.0:
+            return True
+        return self.rng.random() < self.probability
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fault({self.point}={self.kind}:{self.probability:g}"
+            f"{f':{self.arg:g}' if self.arg is not None else ''})"
+        )
+
+
+def parse_spec(spec: str, *, seed: int = 0) -> dict[str, Fault]:
+    """Parse ``point=kind[:prob[:arg]],...`` into a fault table."""
+    table: dict[str, Fault] = {}
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise FaultSpecError(f"fault spec {chunk!r} is missing '=' (point=kind)")
+        point, _, rhs = chunk.partition("=")
+        point = point.strip()
+        parts = rhs.strip().split(":")
+        kind = parts[0]
+        try:
+            probability = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+            arg = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        except ValueError as exc:
+            raise FaultSpecError(f"bad number in fault spec {chunk!r}") from exc
+        if len(parts) > 3:
+            raise FaultSpecError(f"too many ':' fields in fault spec {chunk!r}")
+        table[point] = Fault(point, kind, probability, arg, seed=seed)
+    return table
+
+
+class FaultRegistry:
+    """The active fault table plus fire accounting.
+
+    An empty registry (the default) makes every :func:`fault` call a
+    single dict miss — the production fast path.
+    """
+
+    def __init__(self, spec: str = "", *, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self._table = parse_spec(spec, seed=seed)
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        return bool(self._table)
+
+    def points(self) -> dict[str, str]:
+        """``{point: "kind:prob[:arg]"}`` for observability surfaces."""
+        return {
+            f.point: (
+                f"{f.kind}:{f.probability:g}"
+                + (f":{f.arg:g}" if f.arg is not None else "")
+            )
+            for f in self._table.values()
+        }
+
+    def fired(self) -> dict[str, int]:
+        """How many times each configured point has fired so far."""
+        return {f.point: f.fired for f in self._table.values()}
+
+    def check(self, point: str) -> Fault | None:
+        """The fault to apply at ``point`` right now, or ``None``.
+
+        Use this instead of :meth:`fire` when the call site implements
+        the effect itself (e.g. a writer producing a torn record for
+        ``corrupt``); the caller owns honoring the returned kind.
+        """
+        fault = self._table.get(point)
+        if fault is None:
+            return None
+        with self._lock:
+            if not fault.should_fire():
+                return None
+            fault.fired += 1
+        return fault
+
+    def fire(self, point: str) -> None:
+        """Apply the configured effect at ``point`` (no-op when inactive).
+
+        ``io``/``corrupt`` raise :class:`FaultInjected`; ``crash`` exits
+        the process; ``sleep`` blocks for the configured seconds.
+        """
+        fault = self.check(point)
+        if fault is None:
+            return
+        if fault.kind == "sleep":
+            time.sleep(fault.arg if fault.arg is not None else 1.0)
+            return
+        if fault.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        raise FaultInjected(point, fault.kind)
+
+
+# -- the process-global registry -------------------------------------------
+
+_global: FaultRegistry | None = None
+_global_lock = threading.Lock()
+
+
+def get_faults() -> FaultRegistry:
+    """The process's registry, built lazily from the environment.
+
+    Forked workers inherit the parent's initialized registry (same fault
+    table, same per-point RNG state at fork time); spawn-started workers
+    rebuild the identical table from the inherited environment.
+    """
+    global _global
+    if _global is None:
+        with _global_lock:
+            if _global is None:
+                spec = os.environ.get(ENV_FAULTS, "")
+                seed = int(os.environ.get(ENV_SEED, "0") or "0")
+                _global = FaultRegistry(spec, seed=seed)
+    return _global
+
+
+def set_faults(registry: FaultRegistry | None) -> FaultRegistry | None:
+    """Swap the global registry (tests); returns the previous one."""
+    global _global
+    with _global_lock:
+        previous = _global
+        _global = registry
+    return previous
+
+
+def fault(point: str) -> None:
+    """Fire ``point`` on the global registry — the one-liner call sites use."""
+    get_faults().fire(point)

@@ -14,12 +14,15 @@ puts a small stdlib-only asyncio HTTP/WebSocket front end over it:
   WebSocket framing, plus the blocking test/bench clients.
 * :mod:`repro.gateway.auth` / :mod:`repro.gateway.rate_limit` —
   bearer-token auth and per-client token buckets.
+* :mod:`repro.gateway.journal` — the write-ahead :class:`JobJournal`
+  that makes accepted jobs survive restarts and SIGKILL.
 * :mod:`repro.gateway.server` — :class:`ArtworkGateway`, the daemon
   behind the ``artwork-serve`` CLI.
 """
 
 from .auth import TokenAuth
-from .pool import PoolClosedError, WorkerPool
+from .journal import JobJournal, JournalEntry, read_journal
+from .pool import CircuitBreaker, PoolClosedError, WorkerPool
 from .protocol import HttpClient, HttpResponse, ProtocolError, WebSocketClient
 from .rate_limit import RateLimiter, TokenBucket
 from .server import (
@@ -31,10 +34,13 @@ from .server import (
 
 __all__ = [
     "ArtworkGateway",
+    "CircuitBreaker",
     "GatewayConfig",
     "GatewayHandle",
     "HttpClient",
     "HttpResponse",
+    "JobJournal",
+    "JournalEntry",
     "PoolClosedError",
     "ProtocolError",
     "RateLimiter",
@@ -42,5 +48,6 @@ __all__ = [
     "TokenBucket",
     "WebSocketClient",
     "WorkerPool",
+    "read_journal",
     "start_gateway",
 ]

@@ -1,0 +1,382 @@
+"""Durable write-ahead journal of accepted gateway jobs.
+
+``artwork-serve`` used to hold its job table only in memory: a restart
+(deploy, OOM kill, power cut) silently dropped every accepted-but-
+unfinished job even though the client had already received its job id.
+The journal closes that window.  Before a job is handed to the worker
+pool the gateway appends an ``accepted`` record — spec payload, digest,
+job id, trace id, optional deadline — and every later transition
+(``dispatched``, ``done``) is appended too.  On boot the gateway replays
+the journal: jobs with no terminal record are resubmitted **with their
+original job ids**, so a client polling ``GET /v1/jobs/{id}`` across a
+daemon restart still converges.  Replay is idempotent by construction —
+the content digest dedups against the result cache (a job that actually
+finished before the crash is served from cache, not re-executed).
+
+Format: one JSON object per line (JSONL), append-only, like
+:mod:`repro.obs.runlog`::
+
+    {"op": "accepted", "job": "j000007", "digest": "...", "name": ...,
+     "payload": {...JobSpec.to_dict()...}, "trace": "...", "deadline": ...,
+     "ts": 1754650000.123}
+    {"op": "dispatched", "job": "j000007", "ts": ...}
+    {"op": "done", "job": "j000007", "status": "ok", "ts": ...}
+
+Durability is governed by an explicit fsync policy:
+
+``always``
+    ``fsync`` after every append — an accepted job survives SIGKILL the
+    moment the client has its id (the default; ~100µs per job).
+``interval``
+    ``flush`` every append, ``fsync`` at most once per
+    ``fsync_interval`` seconds — bounded loss window, higher throughput.
+``never``
+    ``flush`` only; the OS decides (tests, tmpfs).
+
+Loading is corrupt-tolerant the same way the runlog is: an unparsable
+*last* line is a torn tail from a mid-append crash and is dropped
+silently; unparsable interior lines are skipped and counted.  The
+journal compacts itself — terminal jobs are purged by an atomic
+rewrite (temp file + ``os.replace``) on boot and every
+``compact_threshold`` completions — so the file stays proportional to
+the live job count, not traffic history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..faults import get_faults
+
+#: Journal operations.
+OP_ACCEPTED = "accepted"
+OP_DISPATCHED = "dispatched"
+OP_DONE = "done"
+
+#: fsync policies (see module docstring).
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+@dataclass
+class JournalEntry:
+    """One accepted job as reconstructed from (or written to) the journal."""
+
+    job_id: str
+    digest: str
+    name: str = ""
+    payload: dict = field(default_factory=dict)
+    trace_id: str | None = None
+    #: Absolute epoch deadline (seconds), when the client set one.
+    deadline: float | None = None
+    accepted_ts: float = 0.0
+    #: ``accepted`` or ``dispatched`` while live; terminal jobs leave the table.
+    state: str = OP_ACCEPTED
+
+    def to_record(self) -> dict:
+        record = {
+            "op": OP_ACCEPTED,
+            "job": self.job_id,
+            "digest": self.digest,
+            "name": self.name,
+            "payload": self.payload,
+            "ts": self.accepted_ts,
+        }
+        if self.trace_id:
+            record["trace"] = self.trace_id
+        if self.deadline is not None:
+            record["deadline"] = self.deadline
+        return record
+
+
+@dataclass
+class JournalStats:
+    """Load/compaction accounting, surfaced on ``/v1/stats``."""
+
+    appended: int = 0
+    replayed: int = 0
+    corrupt_lines: int = 0
+    torn_tail: bool = False
+    compactions: int = 0
+    fsyncs: int = 0
+
+
+class JobJournal:
+    """Append-only journal over one JSONL file; thread-safe appends."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: str = "always",
+        fsync_interval: float = 0.05,
+        compact_threshold: int = 512,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.fsync_interval = fsync_interval
+        self.compact_threshold = compact_threshold
+        self.stats = JournalStats()
+        self._lock = threading.Lock()
+        self._live: dict[str, JournalEntry] = {}
+        self._terminal_since_compact = 0
+        self._last_fsync = 0.0
+        self._load()
+        self._fh = open(self.path, "ab")
+
+    # -- recovery -------------------------------------------------------
+
+    def _load(self) -> None:
+        """Rebuild the live-job table from disk (tolerating a torn tail)."""
+        if not self.path.exists():
+            return
+        lines = self.path.read_bytes().splitlines()
+        for i, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw)
+                op = record["op"]
+                job_id = record["job"]
+            except (ValueError, KeyError, TypeError):
+                if i == len(lines) - 1:
+                    # A mid-append crash leaves exactly one torn last line.
+                    self.stats.torn_tail = True
+                else:
+                    self.stats.corrupt_lines += 1
+                continue
+            if op == OP_ACCEPTED:
+                self._live[job_id] = JournalEntry(
+                    job_id=job_id,
+                    digest=str(record.get("digest", "")),
+                    name=str(record.get("name", "")),
+                    payload=record.get("payload") or {},
+                    trace_id=record.get("trace"),
+                    deadline=record.get("deadline"),
+                    accepted_ts=float(record.get("ts", 0.0) or 0.0),
+                    state=OP_ACCEPTED,
+                )
+            elif op == OP_DISPATCHED:
+                entry = self._live.get(job_id)
+                if entry is not None:
+                    entry.state = OP_DISPATCHED
+            elif op == OP_DONE:
+                self._live.pop(job_id, None)
+
+    def replay(self) -> list[JournalEntry]:
+        """Jobs accepted but never finished, in acceptance order."""
+        with self._lock:
+            entries = sorted(self._live.values(), key=lambda e: (e.accepted_ts, e.job_id))
+            self.stats.replayed = len(entries)
+            return entries
+
+    def max_job_seq(self) -> int:
+        """Highest numeric suffix among live job ids (``j000042`` → 42);
+        the gateway restarts its id counter above this so replayed and
+        fresh jobs never collide."""
+        best = 0
+        with self._lock:
+            for job_id in self._live:
+                digits = "".join(ch for ch in job_id if ch.isdigit())
+                if digits:
+                    best = max(best, int(digits))
+        return best
+
+    # -- appends --------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":")).encode() + b"\n"
+        fault = get_faults().check("journal.append")
+        if fault is not None and fault.kind == "corrupt":
+            # Simulate a power cut mid-write: half the line, no newline,
+            # then the "machine dies" (the caller sees an IO error).
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            raise OSError(f"injected torn write at {self.path}")
+        if fault is not None and fault.kind == "io":
+            raise OSError(f"injected io fault appending to {self.path}")
+        self._fh.write(line)
+        self.stats.appended += 1
+        if self.fsync_policy == "always":
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.stats.fsyncs += 1
+        elif self.fsync_policy == "interval":
+            self._fh.flush()
+            now = time.monotonic()
+            if now - self._last_fsync >= self.fsync_interval:
+                os.fsync(self._fh.fileno())
+                self.stats.fsyncs += 1
+                self._last_fsync = now
+        else:
+            self._fh.flush()
+
+    def accepted(
+        self,
+        job_id: str,
+        digest: str,
+        payload: dict,
+        *,
+        name: str = "",
+        trace_id: str | None = None,
+        deadline: float | None = None,
+    ) -> JournalEntry:
+        entry = JournalEntry(
+            job_id=job_id,
+            digest=digest,
+            name=name,
+            payload=payload,
+            trace_id=trace_id,
+            deadline=deadline,
+            accepted_ts=time.time(),
+        )
+        with self._lock:
+            self._live[job_id] = entry
+            self._append(entry.to_record())
+        return entry
+
+    def dispatched(self, job_id: str) -> None:
+        with self._lock:
+            entry = self._live.get(job_id)
+            if entry is None:
+                return
+            entry.state = OP_DISPATCHED
+            self._append({"op": OP_DISPATCHED, "job": job_id, "ts": time.time()})
+
+    def done(self, job_id: str, status: str) -> None:
+        with self._lock:
+            if self._live.pop(job_id, None) is None:
+                return
+            self._append(
+                {"op": OP_DONE, "job": job_id, "status": status, "ts": time.time()}
+            )
+            self._terminal_since_compact += 1
+            if self._terminal_since_compact >= self.compact_threshold:
+                self._compact_locked()
+
+    #: Journal an already-accepted (replayed) entry again without
+    #: re-stamping — used only by compaction, which owns the lock.
+
+    # -- compaction -----------------------------------------------------
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal keeping only live jobs.
+
+        Returns the number of live entries retained.  Safe at any point;
+        the gateway runs it once per boot after replay and the journal
+        triggers it itself every ``compact_threshold`` completions.
+        """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        entries = sorted(self._live.values(), key=lambda e: (e.accepted_ts, e.job_id))
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp, "wb") as out:
+            for entry in entries:
+                out.write(json.dumps(entry.to_record(), separators=(",", ":")).encode() + b"\n")
+                if entry.state == OP_DISPATCHED:
+                    out.write(
+                        json.dumps(
+                            {"op": OP_DISPATCHED, "job": entry.job_id, "ts": entry.accepted_ts},
+                            separators=(",", ":"),
+                        ).encode()
+                        + b"\n"
+                    )
+            out.flush()
+            os.fsync(out.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab")
+        self._terminal_since_compact = 0
+        self.stats.compactions += 1
+        return len(entries)
+
+    # -- introspection / lifecycle --------------------------------------
+
+    @property
+    def live_jobs(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    def snapshot(self) -> dict:
+        """Stats block for ``/v1/stats`` and ``artwork-inspect journal``."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "fsync": self.fsync_policy,
+                "live_jobs": len(self._live),
+                "appended": self.stats.appended,
+                "replayed": self.stats.replayed,
+                "corrupt_lines": self.stats.corrupt_lines,
+                "torn_tail": self.stats.torn_tail,
+                "compactions": self.stats.compactions,
+                "fsyncs": self.stats.fsyncs,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:  # pragma: no cover - fd already invalid
+                    pass
+                self._fh.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_journal(path: str | Path) -> tuple[list[dict], dict]:
+    """Read a journal file without opening it for appends — the
+    ``artwork-inspect journal`` view.  Returns ``(records, summary)``
+    where records carry every parsed op and the summary aggregates
+    per-job state (live vs terminal) plus corruption accounting."""
+    path = Path(path)
+    records: list[dict] = []
+    corrupt = 0
+    torn = False
+    if path.exists():
+        lines = path.read_bytes().splitlines()
+        for i, raw in enumerate(lines):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw)
+                record["op"], record["job"]
+            except (ValueError, KeyError, TypeError):
+                if i == len(lines) - 1:
+                    torn = True
+                else:
+                    corrupt += 1
+                continue
+            records.append(record)
+    states: dict[str, str] = {}
+    statuses: dict[str, str] = {}
+    for record in records:
+        if record["op"] == OP_DONE:
+            statuses[record["job"]] = str(record.get("status", "?"))
+        states[record["job"]] = record["op"]
+    live = {job: op for job, op in states.items() if op != OP_DONE}
+    summary = {
+        "path": str(path),
+        "records": len(records),
+        "jobs": len(states),
+        "live": len(live),
+        "live_jobs": dict(sorted(live.items())),
+        "statuses": dict(sorted(statuses.items())),
+        "corrupt_lines": corrupt,
+        "torn_tail": torn,
+    }
+    return records, summary

@@ -6,11 +6,18 @@ per second.  A rejected request learns exactly how long to back off —
 the limiter returns the seconds until a token exists again, which the
 server surfaces as a ``Retry-After`` header on the 429.
 
+With ``jitter`` set, the advertised wait is stretched by a random
+fraction of itself so a burst of rejected clients doesn't come back in
+lockstep and re-collide on the same refill instant (the thundering-herd
+failure mode).  Jitter is strictly additive: the true wait is a floor —
+advertising less would guarantee a second 429.
+
 The clock is injectable so tests drive the refill deterministically.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -50,14 +57,20 @@ class RateLimiter:
         burst: int,
         *,
         clock: Callable[[], float] = time.monotonic,
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
     ) -> None:
         if rate <= 0:
             raise ValueError("rate must be positive (omit the limiter to disable)")
         if burst < 1:
             raise ValueError("burst must be at least 1")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
         self.rate = float(rate)
         self.burst = float(burst)
         self.clock = clock
+        self.jitter = float(jitter)
+        self._rng = rng if rng is not None else random.Random()
         self._lock = threading.Lock()
         self._buckets: dict[str, TokenBucket] = {}
         self.allowed = 0
@@ -79,6 +92,8 @@ class RateLimiter:
             wait = bucket.take(now)
             if wait > 0.0:
                 self.rejected += 1
+                if self.jitter > 0.0:
+                    wait += self._rng.uniform(0.0, wait * self.jitter)
             else:
                 self.allowed += 1
             return wait

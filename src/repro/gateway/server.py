@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import re
 import threading
 import time
@@ -54,6 +55,7 @@ from typing import Iterator
 
 from .. import __version__
 from ..core.netlist import NetlistError
+from ..faults import get_faults
 from ..formats.escher import read_escher
 from ..obs import Registry, RunLog, get_logger, get_registry, span
 from ..obs.prometheus import render_prometheus
@@ -70,6 +72,7 @@ from ..service.cache import ResultCache
 from ..service.jobs import JobError, JobSpec
 from ..service.scheduler import BatchScheduler
 from .auth import TokenAuth
+from .journal import JobJournal
 from .pool import PoolClosedError, WorkerPool
 from .protocol import (
     OP_CLOSE,
@@ -105,6 +108,18 @@ STAGE_WINDOW_SPANS = frozenset({
 
 _SERVER = f"artwork-serve/{__version__}"
 
+#: Jitter source for Retry-After hints (module-level so tests can seed it).
+_retry_rng = random.Random()
+
+
+def _retry_after(seconds: float) -> str:
+    """A ``Retry-After`` value with additive jitter (up to +50% plus one
+    second) so a burst of rejected clients doesn't retry in lockstep.
+    Never below the hinted wait — a 429's token really does need that
+    long to exist — and never below 1."""
+    jittered = seconds + _retry_rng.uniform(0.0, seconds * 0.5 + 1.0)
+    return str(max(1, round(jittered)))
+
 
 def _walk_span_dicts(roots: list) -> Iterator[dict]:
     """Depth-first walk over serialized span-tree dicts."""
@@ -129,6 +144,9 @@ class GatewayConfig:
     max_queue: int = 64
     cache: ResultCache | None = None
     runlog: RunLog | None = None
+    #: Write-ahead journal of accepted jobs; replayed on boot so queued
+    #: and in-flight work survives a restart or SIGKILL.
+    journal: JobJournal | None = None
     drain_grace: float = 10.0
     max_body: int = 4 * 1024 * 1024
     #: Finished jobs kept for status/result queries (oldest evicted).
@@ -180,6 +198,7 @@ class ServedJob:
         trace: TraceContext | None = None,
         received_at: float | None = None,
         gw_timings: dict[str, float] | None = None,
+        deadline: float | None = None,
     ):
         self.id = job_id
         self.spec = spec
@@ -188,6 +207,10 @@ class ServedJob:
         self.payload: dict | None = None
         self.from_cache = False
         self.attempts = 0
+        #: Absolute epoch deadline the client set (None = unbounded).
+        self.deadline = deadline
+        #: True when this job was resurrected from the journal on boot.
+        self.replayed = False
         #: When the submitting HTTP request hit the socket (root span start).
         self.received_at = time.time() if received_at is None else received_at
         self.submitted_at = time.time()
@@ -225,6 +248,8 @@ class ServedJob:
             "cached": self.from_cache,
             "attempts": self.attempts,
             "trace_id": self.trace_id,
+            "deadline": self.deadline,
+            "replayed": self.replayed,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -378,6 +403,7 @@ class ArtworkGateway:
     async def start(self) -> "ArtworkGateway":
         self._loop = asyncio.get_running_loop()
         self.pool.start()
+        self._replay_journal()
         self._server = await asyncio.start_server(
             self._on_client, self.config.host, self.config.port
         )
@@ -389,6 +415,94 @@ class ArtworkGateway:
                               "workers": self.pool.size}},
         )
         return self
+
+    # -- crash recovery --------------------------------------------------
+
+    def _journal_op(self, op, *args, **kwargs) -> None:
+        """Apply one journal operation, absorbing journal IO failures:
+        durability must degrade before availability does."""
+        if self.config.journal is None:
+            return
+        try:
+            op(*args, **kwargs)
+        except OSError as exc:
+            self._inc("gateway.journal_errors")
+            self.log.warning(
+                "journal write failed",
+                extra={"fields": {"error": str(exc)}},
+            )
+
+    def _replay_journal(self) -> None:
+        """Resurrect accepted-but-unfinished jobs from the journal.
+
+        Replayed jobs keep their original ids (clients polling across
+        the restart still converge) and go back through the normal
+        submission path: the content digest first checks the result
+        cache — work that actually finished before the crash is served
+        from cache, not executed twice — then the pool.  Runs before the
+        listening socket opens, so no fresh submission can race a replay.
+        """
+        journal = self.config.journal
+        if journal is None:
+            return
+        entries = journal.replay()
+        seq = journal.max_job_seq()
+        if seq:
+            self._job_counter = itertools.count(seq + 1)
+        replayed = 0
+        for entry in entries:
+            try:
+                spec = JobSpec.from_dict(entry.payload)
+            except Exception as exc:  # noqa: BLE001 - a bad record must not block boot
+                self._inc("gateway.journal_replay_failed")
+                self.log.warning(
+                    "journal entry not replayable",
+                    extra={"fields": {"job": entry.job_id, "error": str(exc)}},
+                )
+                self._journal_op(journal.done, entry.job_id, "error")
+                continue
+            trace = TraceContext.from_dict({"trace_id": entry.trace_id or ""})
+            job = ServedJob(
+                entry.job_id, spec, entry.digest or spec.digest,
+                trace=trace, received_at=entry.accepted_ts or None,
+                deadline=entry.deadline,
+            )
+            job.replayed = True
+            if self._resubmit(job):
+                replayed += 1
+        journal.compact()
+        if entries:
+            self._inc("gateway.journal_replayed", replayed)
+            self.log.info(
+                "journal replayed",
+                extra={"fields": {"jobs": len(entries), "resubmitted": replayed,
+                                  "path": str(journal.path)}},
+            )
+
+    def _resubmit(self, job: ServedJob) -> bool:
+        """Install a replayed job and route it to cache or pool; returns
+        True when it went back to the pool."""
+        journal = self.config.journal
+        if self.config.cache is not None:
+            payload = self._cache_get(job.spec)
+            if payload is not None:
+                job.from_cache = True
+                self._install_job(job)
+                job.add_event("queued", cached=True, replayed=True)
+                self._finish_job(job, payload, attempts=0)
+                return False
+        existing_id = self._by_digest.get(job.digest)
+        if existing_id is not None:
+            # Two live journal entries with one digest (possible only
+            # after journal corruption): the earlier replay owns the
+            # work, this id is retired.
+            self._journal_op(journal.done, job.id, "cancelled")
+            return False
+        self._install_job(job)
+        self._by_digest[job.digest] = job.id
+        job.add_event("queued", digest=job.digest, replayed=True)
+        self._submit_to_pool(job)
+        return True
 
     def begin_drain(self) -> None:
         self._draining = True
@@ -407,6 +521,11 @@ class ArtworkGateway:
             None,
             lambda: self.pool.close(drain=drain, grace=self.config.drain_grace),
         )
+        # After the drain every surviving job has journaled its terminal
+        # record; compact so the next boot replays only what truly hangs.
+        if self.config.journal is not None:
+            self._journal_op(self.config.journal.compact)
+            self.config.journal.close()
         # Give in-flight responses a beat, then drop idle keep-alives.
         await asyncio.sleep(0.05)
         for task in list(self._conn_tasks):
@@ -536,7 +655,7 @@ class ArtworkGateway:
                     get_registry().inc("gateway.rate_limited")
                     return _error(
                         429, "rate limit exceeded",
-                        **{"retry-after": str(max(1, round(wait)))},
+                        **{"retry-after": _retry_after(wait)},
                     )
         ws_match = self._ws_route.match(request.path)
         if ws_match and request.method == "GET" and request.wants_websocket:
@@ -576,11 +695,37 @@ class ArtworkGateway:
         if excess > 0:
             del self._finished_ids[:excess]
 
+    def _inc(self, name: str, n: int = 1) -> None:
+        self.registry.inc(name, n)
+        get_registry().inc(name, n)
+
+    def _parse_deadline(
+        self, request: HTTPRequest, data: dict
+    ) -> tuple[float | None, Response | None]:
+        """The request's absolute deadline (epoch seconds) from the
+        ``X-Deadline-Ms`` header or a top-level ``deadline_ms`` body
+        field, anchored at socket arrival time."""
+        raw = request.headers.get("x-deadline-ms")
+        if raw is None and isinstance(data, dict):
+            raw = data.pop("deadline_ms", None)
+        if raw is None:
+            return None, None
+        try:
+            ms = float(raw)
+        except (TypeError, ValueError):
+            return None, _error(400, f"deadline must be a number of ms, got {raw!r}")
+        if ms <= 0:
+            return None, _error(400, "deadline must be positive milliseconds")
+        return request.received_at + ms / 1000.0, None
+
     async def _post_job(self, request: HTTPRequest, _match, ctx: RequestContext) -> Response:
         if self._draining:
-            return _error(503, "gateway is draining", **{"retry-after": "5"})
+            return _error(503, "gateway is draining", **{"retry-after": _retry_after(5)})
         parse_started = time.perf_counter()
         data = request.json()  # ProtocolError -> 400 upstream
+        deadline, bad_deadline = self._parse_deadline(request, data)
+        if bad_deadline is not None:
+            return bad_deadline
         try:
             spec = JobSpec.from_dict(data)
         except (JobError, NetlistError, ValueError, KeyError, TypeError) as exc:
@@ -591,12 +736,12 @@ class ArtworkGateway:
 
         # Dedup 1: the content-addressed result cache (completed earlier).
         if self.config.cache is not None:
-            payload = self.config.cache.get(spec)
+            payload = self._cache_get(spec)
             if payload is not None:
                 job = ServedJob(
                     self._new_job_id(), spec, digest,
                     trace=ctx.trace, received_at=request.received_at,
-                    gw_timings=ctx.timings,
+                    gw_timings=ctx.timings, deadline=deadline,
                 )
                 job.from_cache = True
                 self._install_job(job)
@@ -610,28 +755,64 @@ class ArtworkGateway:
         if existing_id is not None:
             existing = self._jobs.get(existing_id)
             if existing is not None and not existing.finished:
-                self.registry.inc("gateway.jobs_deduped")
-                get_registry().inc("gateway.jobs_deduped")
+                self._inc("gateway.jobs_deduped")
                 return _json_response(202, {**existing.summary(), "deduped": True})
+
+        # A deadline that lapsed during parsing is not worth queueing.
+        if deadline is not None and time.time() >= deadline:
+            self._inc("gateway.deadline_rejections")
+            return _error(504, "deadline already expired")
+
+        # Degraded (cache-only) mode: the worker fleet is in a crash
+        # loop and the breaker is open — misses are refused outright so
+        # the backlog can't grow against a dead pool.
+        if self.pool.degraded:
+            self._inc("gateway.degraded_rejections")
+            return _error(
+                503,
+                "workers unavailable (circuit breaker open); serving cache only",
+                **{"retry-after": _retry_after(self.pool.breaker.cooldown)},
+            )
 
         # Backpressure: bounded pool backlog.
         depth = self.pool.queue_depth
         if depth >= self.config.max_queue:
-            self.registry.inc("gateway.queue_rejections")
-            get_registry().inc("gateway.queue_rejections")
+            self._inc("gateway.queue_rejections")
             return _error(
                 503,
                 f"job queue is full ({depth} waiting)",
-                **{"retry-after": str(max(1, round(depth * 0.1)))},
+                **{"retry-after": _retry_after(max(1.0, depth * 0.1))},
             )
 
         job = ServedJob(
             self._new_job_id(), spec, digest,
             trace=ctx.trace, received_at=request.received_at,
-            gw_timings=ctx.timings,
+            gw_timings=ctx.timings, deadline=deadline,
         )
         self._install_job(job)
         self._by_digest[digest] = job.id
+        # Durability point: once journaled (fsync policy permitting), the
+        # job survives any crash between here and its terminal state.
+        if self.config.journal is not None:
+            self._journal_op(
+                self.config.journal.accepted,
+                job.id, digest, spec.to_dict(),
+                name=spec.name, trace_id=ctx.trace.trace_id, deadline=deadline,
+            )
+        try:
+            self._submit_to_pool(job)
+        except PoolClosedError:
+            self._forget_job(job)
+            if self.config.journal is not None:
+                self._journal_op(self.config.journal.done, job.id, "cancelled")
+            return _error(503, "gateway is draining", **{"retry-after": _retry_after(5)})
+        job.add_event("queued", digest=digest)
+        self._inc("gateway.jobs_submitted")
+        return _json_response(202, {**job.summary(), "deduped": False})
+
+    def _submit_to_pool(self, job: ServedJob) -> None:
+        """Hand one installed job to the worker pool (completion and
+        progress callbacks hop back onto the event loop)."""
         loop = self._loop
         assert loop is not None
         job_id = job.id
@@ -642,20 +823,25 @@ class ArtworkGateway:
         def on_event(event: dict) -> None:
             loop.call_soon_threadsafe(self._on_pool_event, job_id, event)
 
+        self.pool.submit(
+            job.spec.to_dict(),
+            callback=on_done,
+            events=on_event,
+            trace=job.trace.to_dict() if job.trace is not None else None,
+            deadline=job.deadline,
+        )
+
+    def _cache_get(self, spec: JobSpec):
+        """Cache lookup that treats cache IO failure as a miss — a bad
+        disk must degrade the hit rate, not availability."""
         try:
-            self.pool.submit(
-                spec.to_dict(),
-                callback=on_done,
-                events=on_event,
-                trace=ctx.trace.to_dict(),
+            return self.config.cache.get(spec)
+        except OSError as exc:
+            self._inc("gateway.cache_errors")
+            self.log.warning(
+                "cache read failed", extra={"fields": {"error": str(exc)}}
             )
-        except PoolClosedError:
-            self._forget_job(job)
-            return _error(503, "gateway is draining", **{"retry-after": "5"})
-        job.add_event("queued", digest=digest)
-        self.registry.inc("gateway.jobs_submitted")
-        get_registry().inc("gateway.jobs_submitted")
-        return _json_response(202, {**job.summary(), "deduped": False})
+            return None
 
     def _install_job(self, job: ServedJob) -> None:
         self._jobs[job.id] = job
@@ -672,6 +858,8 @@ class ArtworkGateway:
         if event.get("type") == "dispatched":
             job.status = "running"
             job.started_at = time.time()
+            if event.get("attempt", 1) == 1 and self.config.journal is not None:
+                self._journal_op(self.config.journal.dispatched, job.id)
             job.add_event("running", attempt=event.get("attempt", 1))
         elif event.get("type") == "stage":
             job.add_event("stage", stage=event.get("stage", "?"))
@@ -689,9 +877,13 @@ class ArtworkGateway:
         job.finished_at = time.time()
         if self._by_digest.get(job.digest) == job.id:
             del self._by_digest[job.digest]
+        self._record_job(job)  # cache first: the terminal journal record
+        # must only land after the result is durably cached, or a crash
+        # in between would lose a finished job.
+        if self.config.journal is not None:
+            self._journal_op(self.config.journal.done, job.id, job.status)
         self._finished_ids.append(job.id)
         self._observe_stages(job)
-        self._record_job(job)
         total = max(0.0, job.finished_at - job.received_at)
         self._maybe_record_slow(job, total)
         self.log.info(
@@ -793,14 +985,22 @@ class ArtworkGateway:
             and job.status == "ok"
             and not job.from_cache
         ):
-            self.config.cache.put(
-                job.spec,
-                {
-                    k: v
-                    for k, v in payload.items()
-                    if k not in BatchScheduler.TRANSIENT_KEYS
-                },
-            )
+            try:
+                self.config.cache.put(
+                    job.spec,
+                    {
+                        k: v
+                        for k, v in payload.items()
+                        if k not in BatchScheduler.TRANSIENT_KEYS
+                    },
+                )
+            except OSError as exc:
+                # A full/broken disk costs the cache entry, not the job.
+                self._inc("gateway.cache_errors")
+                self.log.warning(
+                    "cache write failed",
+                    extra={"fields": {"job": job.id, "error": str(exc)}},
+                )
         if self.config.runlog is not None:
             self.config.runlog.record(
                 kind="serve",
@@ -989,7 +1189,8 @@ class ArtworkGateway:
         health = self.pool.health()
         queued = sum(1 for j in self._jobs.values() if j.status == "queued")
         running = sum(1 for j in self._jobs.values() if j.status == "running")
-        degraded = health["alive"] < health["size"]
+        breaker_state = health.get("breaker", {}).get("state", "closed")
+        degraded = health["alive"] < health["size"] or breaker_state == "open"
         status = "draining" if self._draining else ("degraded" if degraded else "ok")
         body = {
             "status": status,
@@ -1003,6 +1204,8 @@ class ArtworkGateway:
                 "finished": len(self._finished_ids),
             },
         }
+        if self.config.journal is not None:
+            body["journal"] = {"live_jobs": self.config.journal.live_jobs}
         return _json_response(200 if status == "ok" else 503, body)
 
     def _worker_states(self, health: dict) -> dict[str, int]:
@@ -1050,10 +1253,27 @@ class ArtworkGateway:
             "gateway.jobs_tracked": len(self._jobs),
             "gateway.draining": 1 if self._draining else 0,
         }
+        breaker = health.get("breaker", {})
+        if breaker:
+            gauges["gateway.breaker_open"] = 1 if breaker.get("state") == "open" else 0
+            gauges["gateway.breaker_trips_total"] = breaker.get("trips", 0)
+            gauges["gateway.breaker_heals_total"] = breaker.get("heals", 0)
+        gauges["gateway.kill_escalated_total"] = health.get("kill_escalated", 0)
+        gauges["gateway.deadline_cancelled_total"] = health.get("deadline_cancelled", 0)
+        if self.config.journal is not None:
+            snap = self.config.journal.snapshot()
+            gauges["gateway.journal_live_jobs"] = snap["live_jobs"]
+            gauges["gateway.journal_appended_total"] = snap["appended"]
+            gauges["gateway.journal_compactions_total"] = snap["compactions"]
         series = self._window_series()
         series["gateway.workers"] = [
             ({"state": state}, count) for state, count in sorted(states.items())
         ]
+        if breaker:
+            series["gateway.breaker"] = [
+                ({"state": state}, 1 if breaker.get("state") == state else 0)
+                for state in ("closed", "open", "half_open")
+            ]
         if self.config.cache is not None:
             stats = self.config.cache.stats
             gauges["gateway.cache_entries"] = len(self.config.cache)
@@ -1096,6 +1316,7 @@ class ArtworkGateway:
                     **states,
                 },
             },
+            "breaker": health.get("breaker", {}),
             "totals": {
                 name: self.registry.get(name)
                 for name in (
@@ -1106,6 +1327,11 @@ class ArtworkGateway:
                     "gateway.rate_limited",
                     "gateway.auth_rejections",
                     "gateway.queue_rejections",
+                    "gateway.degraded_rejections",
+                    "gateway.deadline_rejections",
+                    "gateway.journal_errors",
+                    "gateway.journal_replayed",
+                    "gateway.cache_errors",
                     "gateway.ws_connections",
                     "service.jobs",
                     "service.cache_hits",
@@ -1113,6 +1339,16 @@ class ArtworkGateway:
                 )
             },
         }
+        if self.config.journal is not None:
+            body["journal"] = self.config.journal.snapshot()
+        faults = get_faults()
+        if faults.active:
+            body["faults"] = {
+                "spec": faults.spec,
+                "seed": faults.seed,
+                "points": faults.points(),
+                "fired": faults.fired(),
+            }
         if self.config.cache is not None:
             body["gauges"]["cache"] = {
                 "entries": len(self.config.cache),

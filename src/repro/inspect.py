@@ -243,6 +243,52 @@ def _cmd_slow(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Summarize a gateway write-ahead journal: per-job state, what a
+    restart would replay, and any corruption the loader tolerated."""
+    from .gateway.journal import read_journal
+
+    records, summary = read_journal(args.path)
+    print(f"journal {summary['path']}")
+    print(
+        f"  records {summary['records']}  jobs {summary['jobs']}  "
+        f"live {summary['live']}  corrupt_lines {summary['corrupt_lines']}  "
+        f"torn_tail {summary['torn_tail']}"
+    )
+    if summary["live_jobs"]:
+        rows = []
+        by_job = {r["job"]: r for r in records if r["op"] == "accepted"}
+        for job_id, state in summary["live_jobs"].items():
+            accepted = by_job.get(job_id, {})
+            rows.append(
+                {
+                    "job": job_id,
+                    "state": state,
+                    "name": accepted.get("name", "?"),
+                    "digest": str(accepted.get("digest", ""))[:12],
+                    "trace": str(accepted.get("trace") or "—")[:16],
+                    "deadline": (
+                        f"{accepted['deadline']:.3f}"
+                        if accepted.get("deadline") is not None
+                        else "—"
+                    ),
+                }
+            )
+        _print_table("live jobs (replayed on next boot)", rows)
+    else:
+        print("  no live jobs — a restart replays nothing")
+    if summary["statuses"]:
+        counts: dict[str, int] = {}
+        for status in summary["statuses"].values():
+            counts[status] = counts.get(status, 0) + 1
+        done = "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"  terminal: {done}")
+    if args.ops:
+        for record in records:
+            print(f"  {json.dumps(record, sort_keys=True)}")
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     log = _load_log(args)
     base = _resolve(log, args.base)
@@ -487,6 +533,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_slow.add_argument("--name", help="filter by workload name")
     p_slow.add_argument("-n", "--limit", type=int, default=20, help="worst N only")
     p_slow.set_defaults(func=_cmd_slow)
+
+    p_journal = sub.add_parser(
+        "journal", help="summarize a gateway write-ahead journal file"
+    )
+    p_journal.add_argument("path", help="journal file (artwork-serve --journal)")
+    p_journal.add_argument(
+        "--ops", action="store_true", help="also dump every parsed journal record"
+    )
+    p_journal.set_defaults(func=_cmd_journal)
 
     p_diff = sub.add_parser("diff", help="metric deltas between two runs")
     p_diff.add_argument("base", help="baseline run id")

@@ -22,6 +22,7 @@ import shutil
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from ..faults import fault
 from ..formats.escher import MAGIC
 from .jobs import JobSpec
 
@@ -93,6 +94,7 @@ class ResultCache:
             self.stats.misses += 1
             return None
         try:
+            fault("cache.read")  # injectable bad-sector read
             payload = json.loads(result_path.read_text())
             escher = diagram_path.read_text()
             if not isinstance(payload, dict) or any(
@@ -120,14 +122,32 @@ class ResultCache:
         sidecar = {k: v for k, v in payload.items() if k != "escher"}
         sidecar.setdefault("name", spec.name)
         sidecar["digest"] = spec.digest
-        # Diagram first: a reader only trusts entries whose sidecar exists,
-        # so a crash between the two writes leaves an invisible entry.
-        (entry / DIAGRAM_FILE).write_text(payload.get("escher", ""))
-        (entry / RESULT_FILE).write_text(json.dumps(sidecar, indent=1))
+        fault("cache.write")  # injectable disk-full / IO error
+        # Each file lands atomically (temp + rename on the same filesystem),
+        # and the diagram lands before the sidecar: readers only trust
+        # entries whose sidecar exists, so no crash point — mid-file or
+        # between files — can expose a truncated entry.
+        self._write_atomic(entry / DIAGRAM_FILE, payload.get("escher", ""))
+        self._write_atomic(entry / RESULT_FILE, json.dumps(sidecar, indent=1))
         self.stats.stores += 1
         if self.max_entries is not None:
             self._trim()
         return entry
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """Write-then-rename so a crash mid-write never leaves a
+        truncated file at ``path`` for the corruption path to evict."""
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def evict(self, digest: str) -> bool:
         entry = self.entry_dir(digest)

@@ -247,14 +247,19 @@ class BatchScheduler:
                 and outcome.ok
                 and not outcome.from_cache
             ):
-                self.cache.put(
-                    specs[index],
-                    {
-                        k: v
-                        for k, v in outcome.payload.items()
-                        if k not in self.TRANSIENT_KEYS
-                    },
-                )
+                try:
+                    self.cache.put(
+                        specs[index],
+                        {
+                            k: v
+                            for k, v in outcome.payload.items()
+                            if k not in self.TRANSIENT_KEYS
+                        },
+                    )
+                except OSError:
+                    # A failed store costs the cache entry, not the batch.
+                    self.counters.inc("service.cache_errors")
+                    get_registry().inc("service.cache_errors")
             if progress is not None:
                 progress(outcome, done, len(specs))
 

@@ -230,6 +230,30 @@ class TestRateLimiterUnit:
             RateLimiter(rate=0.0, burst=1)
         with pytest.raises(ValueError):
             RateLimiter(rate=1.0, burst=0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=1, jitter=-0.1)
+
+    def test_jitter_is_additive_only(self):
+        import random as _random
+
+        limiter = RateLimiter(
+            rate=1.0, burst=1, clock=lambda: 0.0,
+            jitter=0.5, rng=_random.Random(7),
+        )
+        assert limiter.check("c") == 0.0  # grants are never jittered
+        base = 1.0  # empty bucket at rate 1/s
+        for _ in range(50):
+            wait = limiter.check("c")
+            assert base <= wait <= base * 1.5
+
+    def test_retry_after_jitter_never_shrinks_the_wait(self):
+        from repro.gateway.server import _retry_after
+
+        for seconds in (0.0, 0.4, 2.0, 30.0):
+            for _ in range(50):
+                got = int(_retry_after(seconds))
+                assert got >= max(1, int(seconds))
+                assert got <= int(seconds + seconds * 0.5 + 1) + 1
 
 
 # -- the served gateway ----------------------------------------------------
