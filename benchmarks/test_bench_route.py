@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import copy
 import json
+import os
+import sys
 import time
 from pathlib import Path
 
@@ -33,6 +35,7 @@ from repro.route import RouterOptions, route_diagram
 from repro.route.plane import Plane
 from repro.route.reference import ReferenceSnapshot
 from repro.workloads import (
+    datapath_grid_diagram,
     datapath_network,
     example1_string,
     example2_controller,
@@ -46,6 +49,19 @@ BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_route.json"
 #: workload than the pre-index path.
 MIN_STATE_RATIO = 3.0
 MIN_WALL_RATIO = 2.0
+
+#: Acceptance ceiling for the heuristic tentpole (ISSUE 9): the
+#: crossover-aware bound plus the escalated exact bend-distance BFS must
+#: at least halve the datapath workload's expanded states vs the 56,261
+#: the plain geometric bound needed.
+MAX_DATAPATH_STATES = 28_130
+
+#: The parallel-scaling gate only bites where threads can actually run
+#: in parallel: ≥4 visible cores on a free-threaded interpreter.  Under
+#: the GIL the bench still enforces the much stronger property — the
+#: parallel router's output is byte-identical to the serial one.
+MIN_PARALLEL_SPEEDUP = 1.5
+SCALING_LANES, SCALING_STAGES = 10, 25
 
 
 def _workloads():
@@ -78,7 +94,11 @@ def test_bench_route_engines(benchmark, experiment_store):
             before = reg.get("route.astar_pruned")
             _, idx_report, idx_wall = _route_once(placed, RouterOptions())
             pruned = reg.get("route.astar_pruned") - before
+            _, bidi_report, bidi_wall = _route_once(
+                placed, RouterOptions(bidirectional=True)
+            )
             assert idx_report.nets_routed == ref_report.nets_routed
+            assert bidi_report.nets_routed == ref_report.nets_routed
             assert {str(f) for f in idx_report.failed_nets} == {
                 str(f) for f in ref_report.failed_nets
             }
@@ -100,6 +120,16 @@ def test_bench_route_engines(benchmark, experiment_store):
                     "states": idx_report.search.states_expanded,
                     "pruned": pruned,
                     "routed": f"{idx_report.nets_routed}/{idx_report.nets_total}",
+                }
+            )
+            rows.append(
+                {
+                    "workload": name,
+                    "engine": "indexed-astar-bidi",
+                    "wall_s": round(bidi_wall, 3),
+                    "states": bidi_report.search.states_expanded,
+                    "pruned": 0,
+                    "routed": f"{bidi_report.nets_routed}/{bidi_report.nets_total}",
                 }
             )
         return rows
@@ -124,6 +154,18 @@ def test_bench_route_engines(benchmark, experiment_store):
     assert wall_ratio >= MIN_WALL_RATIO, (
         f"indexed path only {wall_ratio:.2f}x faster than the reference "
         f"(need >= {MIN_WALL_RATIO}x)"
+    )
+
+    dp_ref = by_key[("datapath", "reference")]
+    dp_idx = by_key[("datapath", "indexed-astar")]
+    experiment_store["route_datapath_ratios"] = {
+        "states_ratio": round(dp_ref["states"] / max(1, dp_idx["states"]), 2),
+        "wall_ratio": round(dp_ref["wall_s"] / max(1e-9, dp_idx["wall_s"]), 2),
+        "states": dp_idx["states"],
+    }
+    assert dp_idx["states"] <= MAX_DATAPATH_STATES, (
+        f"datapath A* expanded {dp_idx['states']} states "
+        f"(ceiling {MAX_DATAPATH_STATES})"
     )
 
 
@@ -200,6 +242,53 @@ def test_bench_route_verified_examples(benchmark, experiment_store):
         assert row["mismatches"] == 0, row
 
 
+def test_bench_route_parallel_scaling(benchmark, experiment_store):
+    """Speculative parallel routing at scale: a ~500-net datapath, serial
+    vs ``parallel_nets``.  Identity of the routed output is a hard gate
+    everywhere; the wall-clock speedup gate only applies where threads
+    can run in parallel (≥4 cores, free-threaded interpreter)."""
+    base = datapath_grid_diagram(lanes=SCALING_LANES, stages=SCALING_STAGES)
+
+    def run():
+        reg = counters.get_registry()
+        serial, serial_report, serial_wall = _route_once(base, RouterOptions())
+        w0 = reg.get("route.parallel.waves")
+        c0 = reg.get("route.parallel.conflicts")
+        parallel, par_report, par_wall = _route_once(
+            base, RouterOptions(parallel_nets=True)
+        )
+        identical = set(serial.routes) == set(parallel.routes) and all(
+            serial.routes[n].paths == parallel.routes[n].paths
+            for n in serial.routes
+        )
+        return {
+            "nets": serial_report.nets_total,
+            "routed_serial": serial_report.nets_routed,
+            "routed_parallel": par_report.nets_routed,
+            "serial_wall_s": round(serial_wall, 3),
+            "parallel_wall_s": round(par_wall, 3),
+            "speedup": round(serial_wall / max(1e-9, par_wall), 2),
+            "waves": reg.get("route.parallel.waves") - w0,
+            "conflicts": reg.get("route.parallel.conflicts") - c0,
+            "identical_routes": identical,
+            "cores": os.cpu_count() or 1,
+            "gil": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        }
+
+    row = once(benchmark, run)
+    print_table("parallel net routing at ~500 nets", [row])
+    experiment_store["route_scaling"] = row
+
+    assert row["nets"] >= 500
+    assert row["identical_routes"], "parallel routing diverged from serial"
+    assert row["routed_parallel"] == row["routed_serial"]
+    if row["cores"] >= 4 and not row["gil"]:
+        assert row["speedup"] >= MIN_PARALLEL_SPEEDUP, (
+            f"parallel speedup {row['speedup']}x on {row['cores']} cores "
+            f"(need >= {MIN_PARALLEL_SPEEDUP}x)"
+        )
+
+
 def test_bench_route_summary(experiment_store):
     """Persist the routing-bench numbers as ``BENCH_route.json``."""
     engines = experiment_store.get("route_engines")
@@ -211,6 +300,8 @@ def test_bench_route_summary(experiment_store):
                 "benchmark": "routing-plane index + admissible A*",
                 "engines": engines,
                 "random_nets_speedup": experiment_store.get("route_ratios"),
+                "datapath_speedup": experiment_store.get("route_datapath_ratios"),
+                "parallel_scaling": experiment_store.get("route_scaling"),
                 "per_connection_view": experiment_store.get("route_view_cost"),
                 "verified_examples": experiment_store.get("route_verified"),
             },

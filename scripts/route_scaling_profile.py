@@ -1,0 +1,106 @@
+"""Routing-scaling profile: serial vs speculative-parallel net routing.
+
+Sweeps grid-placed datapaths (deterministic workloads, no placement
+noise) through the serial and the ``parallel_nets`` router and writes a
+JSON profile with wall times, expanded states, wave/conflict counts and
+a per-size identity check of the routed output.  CI uploads the profile
+next to ``BENCH_route.json``.
+
+Usage:
+    python scripts/route_scaling_profile.py [-o out/route_scaling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import counters  # noqa: E402
+from repro.route.eureka import RouterOptions, route_diagram  # noqa: E402
+from repro.workloads import datapath_grid_diagram  # noqa: E402
+
+SWEEP = [(2, 6), (4, 12), (6, 18), (10, 25)]
+
+
+def _run(base, options):
+    diagram = copy.deepcopy(base)
+    started = time.perf_counter()
+    report = route_diagram(diagram, options)
+    wall = time.perf_counter() - started
+    return diagram, report, wall
+
+
+def profile() -> dict:
+    registry = counters.get_registry()
+    rows = []
+    for lanes, stages in SWEEP:
+        base = datapath_grid_diagram(lanes=lanes, stages=stages)
+        serial, s_report, s_wall = _run(base, RouterOptions())
+        w0 = registry.get("route.parallel.waves")
+        c0 = registry.get("route.parallel.conflicts")
+        k0 = registry.get("route.parallel.commits")
+        parallel, p_report, p_wall = _run(
+            base, RouterOptions(parallel_nets=True)
+        )
+        identical = all(
+            serial.routes[n].paths == parallel.routes[n].paths
+            for n in serial.routes
+        )
+        rows.append(
+            {
+                "lanes": lanes,
+                "stages": stages,
+                "nets": s_report.nets_total,
+                "routed": s_report.nets_routed,
+                "serial_wall_s": round(s_wall, 3),
+                "parallel_wall_s": round(p_wall, 3),
+                "speedup": round(s_wall / max(1e-9, p_wall), 2),
+                "serial_states": s_report.search.states_expanded,
+                "parallel_states": p_report.search.states_expanded,
+                "waves": registry.get("route.parallel.waves") - w0,
+                "commits": registry.get("route.parallel.commits") - k0,
+                "conflicts": registry.get("route.parallel.conflicts") - c0,
+                "identical_routes": identical,
+            }
+        )
+        print(
+            f"{lanes}x{stages}: {s_report.nets_total} nets, "
+            f"serial {s_wall:.2f}s vs parallel {p_wall:.2f}s, "
+            f"identical={identical}"
+        )
+    return {
+        "profile": "route-scaling serial vs parallel_nets",
+        "cores": os.cpu_count() or 1,
+        "gil": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        "python": sys.version.split()[0],
+        "rows": rows,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="out/route_scaling.json", help="profile path"
+    )
+    args = parser.parse_args()
+    data = profile()
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(data, indent=1))
+    print(f"wrote {out}")
+    bad = [r for r in data["rows"] if not r["identical_routes"]]
+    if bad:
+        print("parallel routing diverged from serial:", bad, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1336,6 +1336,11 @@ class ArtworkGateway:
                     "service.jobs",
                     "service.cache_hits",
                     "service.cache_misses",
+                    "route.heur_escalations",
+                    "route.parallel.waves",
+                    "route.parallel.commits",
+                    "route.parallel.conflicts",
+                    "route.parallel.rollbacks",
                 )
             },
         }

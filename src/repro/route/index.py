@@ -23,7 +23,10 @@ The index keeps *global* aggregates over all nets:
   ("all minus own net") instead of an O(plane) rebuild,
 * per-row/per-column sorted obstacle coordinates, so straight sweeps can
   jump to the next obstacle with a bisect instead of probing point by
-  point.
+  point,
+* lazily built per-row/per-column *crossing prefix sums*, so the A*'s
+  crossover-aware lower bound can ask "how many crossings would a
+  straight run over ``[a..b]`` pay" in O(log row) instead of O(b-a).
 
 A :class:`NetView` is the routers' per-connection window: it references
 the global maps (the ``hard`` set of blocked and claimed points is never
@@ -52,6 +55,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .plane import Plane
 
 _ZERO = (0, 0, 0, 0)
+
+
+def _prefix_entry(line: "dict[int, int] | tuple"):
+    """Sorted coordinates + running prefix sums for one line's crossing
+    counts; ``sums[i]`` is the total over ``coords[:i]``."""
+    if not line:
+        return [], [0]
+    coords = sorted(line)
+    sums = [0] * (len(coords) + 1)
+    total = 0
+    for i, c in enumerate(coords):
+        total += line[c]
+        sums[i + 1] = total
+    return coords, sums
 
 
 class IndexedPointSet(set):
@@ -114,6 +131,10 @@ class PlaneIndex:
         "_cols",
         "_rows_sorted",
         "_cols_sorted",
+        "_cross_by_row",
+        "_cross_by_col",
+        "_cross_rows",
+        "_cross_cols",
     )
 
     def __init__(self, plane: "Plane") -> None:
@@ -138,6 +159,14 @@ class PlaneIndex:
         self._cols: dict[int, set[int]] = {}
         self._rows_sorted: dict[int, list[int]] = {}
         self._cols_sorted: dict[int, list[int]] = {}
+        # Eager per-line crossing counts (y -> x -> cross_h, x -> y ->
+        # cross_v) plus lazily sorted (coords, prefix sums) caches the
+        # range queries bisect; a cache entry drops whenever a crossing
+        # count on its line changes.
+        self._cross_by_row: dict[int, dict[int, int]] = {}
+        self._cross_by_col: dict[int, dict[int, int]] = {}
+        self._cross_rows: dict[int, tuple[list[int], list[int]]] = {}
+        self._cross_cols: dict[int, tuple[list[int], list[int]]] = {}
 
     # -- plane mutation hooks -------------------------------------------
 
@@ -172,6 +201,47 @@ class PlaneIndex:
                 vb = 1 if vertical in oris else 0
                 new = (hb, vb, vb, hb)
             self._apply(net, cmap, p, new)
+
+    def remove_net(self, net: str) -> None:
+        """Unwind every contribution of ``net`` in O(own net), leaving
+        the index identical to one rebuilt from scratch off a plane that
+        never saw the net (the speculative-rollback requirement)."""
+        cmap = self.contrib.pop(net, None)
+        if not cmap:
+            return
+        for p, old in cmap.items():
+            self._apply_delta(p, old)
+            n = self.occ[p] - 1
+            if n:
+                self.occ[p] = n
+            else:
+                del self.occ[p]
+                self.occ_pts.discard(p)
+
+    def _apply_delta(self, p: Point, old: tuple[int, int, int, int]) -> None:
+        """Subtract a contribution tuple from the per-point aggregates."""
+        dhb = -old[0]
+        if dhb:
+            n = self.h_block.get(p, 0) + dhb
+            if n:
+                self.h_block[p] = n
+            else:
+                del self.h_block[p]
+                self.blocked_h_pts.discard(p)
+                self._row_maybe_remove(p)
+        dvb = -old[1]
+        if dvb:
+            n = self.v_block.get(p, 0) + dvb
+            if n:
+                self.v_block[p] = n
+            else:
+                del self.v_block[p]
+                self.blocked_v_pts.discard(p)
+                self._col_maybe_remove(p)
+        if old[2]:
+            self._cross_h_change(p, -old[2])
+        if old[3]:
+            self._cross_v_change(p, -old[3])
 
     def rebuild(self) -> None:
         """Ingest a pre-populated plane (dataclass construction with
@@ -233,18 +303,36 @@ class PlaneIndex:
                 self._col_maybe_remove(p)
         dch = new[2] - old[2]
         if dch:
-            n = self.cross_h.get(p, 0) + dch
-            if n:
-                self.cross_h[p] = n
-            else:
-                del self.cross_h[p]
+            self._cross_h_change(p, dch)
         dcv = new[3] - old[3]
         if dcv:
-            n = self.cross_v.get(p, 0) + dcv
-            if n:
-                self.cross_v[p] = n
-            else:
-                del self.cross_v[p]
+            self._cross_v_change(p, dcv)
+
+    def _cross_h_change(self, p: Point, delta: int) -> None:
+        n = self.cross_h.get(p, 0) + delta
+        row = self._cross_by_row.setdefault(p.y, {})
+        if n:
+            self.cross_h[p] = n
+            row[p.x] = n
+        else:
+            del self.cross_h[p]
+            del row[p.x]
+            if not row:
+                del self._cross_by_row[p.y]
+        self._cross_rows.pop(p.y, None)
+
+    def _cross_v_change(self, p: Point, delta: int) -> None:
+        n = self.cross_v.get(p, 0) + delta
+        col = self._cross_by_col.setdefault(p.x, {})
+        if n:
+            self.cross_v[p] = n
+            col[p.y] = n
+        else:
+            del self.cross_v[p]
+            del col[p.y]
+            if not col:
+                del self._cross_by_col[p.x]
+        self._cross_cols.pop(p.x, None)
 
     def _static_add(self, p: Point) -> None:
         """A blocked/claimed point obstructs movement on both axes."""
@@ -283,6 +371,8 @@ class PlaneIndex:
         row = self._rows.get(p.y)
         if row and p.x in row:
             row.discard(p.x)
+            if not row:
+                del self._rows[p.y]
             self._rows_sorted.pop(p.y, None)
 
     def _col_maybe_remove(self, p: Point) -> None:
@@ -295,6 +385,8 @@ class PlaneIndex:
         col = self._cols.get(p.x)
         if col and p.y in col:
             col.discard(p.y)
+            if not col:
+                del self._cols[p.x]
             self._cols_sorted.pop(p.x, None)
 
     def sorted_row(self, y: int) -> list[int]:
@@ -311,6 +403,48 @@ class PlaneIndex:
             lst = self._cols_sorted[x] = sorted(self._cols.get(x, ()))
         return lst
 
+    # -- crossing range sums (the A*'s crossover-aware bound) -----------
+
+    def _cross_row(self, y: int) -> tuple[list[int], list[int]]:
+        entry = self._cross_rows.get(y)
+        if entry is None:
+            entry = self._cross_rows[y] = _prefix_entry(
+                self._cross_by_row.get(y, ())
+            )
+        return entry
+
+    def _cross_col(self, x: int) -> tuple[list[int], list[int]]:
+        entry = self._cross_cols.get(x)
+        if entry is None:
+            entry = self._cross_cols[x] = _prefix_entry(
+                self._cross_by_col.get(x, ())
+            )
+        return entry
+
+    def range_cross_h(self, y: int, a: int, b: int) -> int:
+        """Total crossings a horizontal run entering ``x in [a..b]`` on
+        row ``y`` would pay, over all nets (callers subtract their own)."""
+        if a > b:
+            return 0
+        coords, sums = self._cross_row(y)
+        if not coords:
+            return 0
+        lo = bisect_left(coords, a)
+        hi = bisect_right(coords, b)
+        return sums[hi] - sums[lo]
+
+    def range_cross_v(self, x: int, a: int, b: int) -> int:
+        """Total crossings a vertical run entering ``y in [a..b]`` on
+        column ``x`` would pay, over all nets."""
+        if a > b:
+            return 0
+        coords, sums = self._cross_col(x)
+        if not coords:
+            return 0
+        lo = bisect_left(coords, a)
+        hi = bisect_right(coords, b)
+        return sums[hi] - sums[lo]
+
     # -- per-net queries -------------------------------------------------
 
     def net_points(self, net: str) -> set[Point]:
@@ -318,8 +452,13 @@ class PlaneIndex:
         O(net size) instead of a full ``usage`` scan."""
         return set(self.contrib.get(net, ()))
 
-    def view(self, net: str, allow: frozenset[Point] = frozenset()) -> "NetView":
-        return NetView(self, net, allow)
+    def view(
+        self,
+        net: str,
+        allow: frozenset[Point] = frozenset(),
+        extra_hard: frozenset[Point] = frozenset(),
+    ) -> "NetView":
+        return NetView(self, net, allow, extra_hard)
 
 
 class NetView:
@@ -334,6 +473,7 @@ class NetView:
         "blocked",
         "claims",
         "allow",
+        "extra_hard",
         "blocked_h",
         "blocked_v",
         "cross_h",
@@ -349,7 +489,11 @@ class NetView:
     )
 
     def __init__(
-        self, index: PlaneIndex, net: str, allow: frozenset[Point]
+        self,
+        index: PlaneIndex,
+        net: str,
+        allow: frozenset[Point],
+        extra_hard: frozenset[Point] = frozenset(),
     ) -> None:
         plane = index.plane
         bounds = plane.bounds
@@ -358,6 +502,7 @@ class NetView:
         self.blocked = plane.blocked
         self.claims = plane.claims
         self.allow = allow
+        self.extra_hard = extra_hard
         self.blocked_h = index.blocked_h_pts
         self.blocked_v = index.blocked_v_pts
         self.cross_h = index.cross_h
@@ -388,6 +533,8 @@ class NetView:
     # -- interval engine and tests) -------------------------------------
 
     def hard_at(self, q: Point) -> bool:
+        if q in self.extra_hard:
+            return True
         return (q in self.blocked or q in self.claims) and q not in self.allow
 
     def entry_blocked(self, q: Point, horizontal: bool) -> bool:
@@ -444,6 +591,8 @@ class NetView:
         return None
 
     def _stops(self, q: Point, vertical: bool) -> bool:
+        if q in self.extra_hard:
+            return True
         if (q in self.blocked or q in self.claims) and q not in self.allow:
             return True
         if vertical:

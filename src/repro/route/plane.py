@@ -134,6 +134,13 @@ class Plane:
                 released += 1
         return released
 
+    def claim_points(self, owners: Iterable[Hashable]) -> frozenset[Point]:
+        """Points currently claimed by the given owners (O(owned))."""
+        points: set[Point] = set()
+        for owner in owners:
+            points |= self._claims_by_owner.get(owner, set())
+        return frozenset(points)
+
     def release_all_claims(self) -> int:
         released = len(self.claims)
         for point in list(self.claims):
@@ -167,6 +174,21 @@ class Plane:
 
     def net_points(self, net: str) -> set[Point]:
         return self.index.net_points(net)
+
+    def remove_net(self, net: str) -> None:
+        """Erase every trace of ``net`` from the plane in O(own net):
+        usage entries, node points and the index contribution — the
+        speculative-routing rollback primitive.  Afterwards the plane
+        (and its index) is indistinguishable from one that never routed
+        the net."""
+        for p in self.index.net_points(net):
+            here = self.usage.get(p)
+            if here is not None and net in here:
+                del here[net]
+                if not here:
+                    del self.usage[p]
+        self.nodes.pop(net, None)
+        self.index.remove_net(net)
 
     # -- router queries ----------------------------------------------------
 

@@ -118,6 +118,14 @@ def pablo_from_dict(data: dict) -> PabloOptions:
     return PabloOptions(**d)
 
 
+#: Router options that change how the work is *executed*, never what it
+#: produces: serialized for round-tripping but excluded from the job
+#: digest, so e.g. a ``parallel_nets`` run shares its cache entry with
+#: the serial run it is guaranteed to match.  ``bidirectional`` is NOT
+#: here — it may pick different equal-cost tie-break paths.
+_EXECUTION_ONLY_OPTIONS = ("parallel_nets",)
+
+
 def router_to_dict(options: RouterOptions) -> dict:
     return {
         "claimpoints": options.claimpoints,
@@ -127,6 +135,8 @@ def router_to_dict(options: RouterOptions) -> dict:
         "retry_failed": options.retry_failed,
         "net_order": options.net_order,
         "engine": options.engine,
+        "bidirectional": options.bidirectional,
+        "parallel_nets": options.parallel_nets,
     }
 
 
@@ -184,12 +194,16 @@ class JobSpec:
 
     @property
     def digest(self) -> str:
-        """Stable content address of the work (network + options, not name)."""
+        """Stable content address of the work (network + options, not name
+        or execution-strategy options that cannot change the output)."""
+        eureka = router_to_dict(self.eureka)
+        for key in _EXECUTION_ONLY_OPTIONS:
+            eureka.pop(key, None)
         blob = json.dumps(
             {
                 "network": json.loads(self.network_json),
                 "pablo": pablo_to_dict(self.pablo),
-                "eureka": router_to_dict(self.eureka),
+                "eureka": eureka,
             },
             sort_keys=True,
             separators=(",", ":"),

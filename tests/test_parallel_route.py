@@ -1,0 +1,250 @@
+"""Tests for speculative parallel net routing (``parallel_nets``).
+
+The contract under test is strong: the parallel router must produce the
+*identical* diagram — same paths, same failed pins, same Table-6.1
+metrics — as the serial router, because conflicted speculations are
+re-routed serially and conflict-free ones are provably the serial
+result.  A second group covers the rollback primitive the speculation
+machinery leans on: ``Plane.remove_net`` must leave the index
+indistinguishable from a fresh rebuild.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.diagram import Diagram
+from repro.core.geometry import Point
+from repro.core.metrics import diagram_metrics
+from repro.core.netlist import Network
+from repro.core.validate import check_diagram, connectivity_matches_netlist
+from repro.obs import counters
+from repro.place.pablo import PabloOptions, place_network
+from repro.route import eureka
+from repro.route.eureka import RouterOptions, route_diagram
+from repro.route.index import PlaneIndex
+from repro.route.line_expansion import CostOrder
+from repro.route.plane import Plane
+from repro.workloads import (
+    datapath_network,
+    example1_string,
+    example2_controller,
+    random_network,
+)
+from repro.workloads.stdlib import make_module
+
+
+def _placed(network: Network) -> Diagram:
+    diagram, _ = place_network(network, PabloOptions())
+    return diagram
+
+
+def _parallel_counters() -> dict[str, int]:
+    snap = counters.get_registry().snapshot()
+    data = snap.get("counters", snap)
+    return {k: v for k, v in data.items() if k.startswith("route.parallel")}
+
+
+def _routes_equal(d1: Diagram, d2: Diagram) -> bool:
+    if set(d1.routes) != set(d2.routes):
+        return False
+    for name, r1 in d1.routes.items():
+        r2 = d2.routes[name]
+        if r1.paths != r2.paths or r1.failed_pins != r2.failed_pins:
+            return False
+    return True
+
+
+WORKLOADS = {
+    "example1": example1_string,
+    "example2": example2_controller,
+    "random": lambda: random_network(modules=14, extra_nets=6, seed=7),
+    "datapath": lambda: datapath_network(lanes=2, stages=4),
+}
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize(
+        "order", [CostOrder.BENDS_CROSSINGS_LENGTH, CostOrder.BENDS_LENGTH_CROSSINGS]
+    )
+    def test_identical_output(self, workload, order):
+        base = _placed(WORKLOADS[workload]())
+        serial, parallel = copy.deepcopy(base), copy.deepcopy(base)
+        rs = route_diagram(serial, RouterOptions(cost_order=order))
+        rp = route_diagram(
+            parallel, RouterOptions(cost_order=order, parallel_nets=True)
+        )
+        # Identical reports, routes and pin connectivity...
+        assert (rp.nets_routed, rp.nets_failed) == (rs.nets_routed, rs.nets_failed)
+        assert list(map(str, rp.failed_nets)) == list(map(str, rs.failed_nets))
+        assert _routes_equal(serial, parallel)
+        check_diagram(parallel)
+        assert connectivity_matches_netlist(parallel) == connectivity_matches_netlist(
+            serial
+        )
+        # ...and identical Table-6.1 metrics, trivially so given the above.
+        assert diagram_metrics(parallel) == diagram_metrics(serial)
+        # Speculative work that is thrown away still shows up in the
+        # stats, so parallel >= serial states expanded, never less.
+        assert rp.search.states_expanded >= rs.search.states_expanded
+
+    def test_wave_counters_emitted(self):
+        diagram = _placed(WORKLOADS["random"]())
+        counters.get_registry().reset()
+        route_diagram(diagram, RouterOptions(parallel_nets=True))
+        emitted = _parallel_counters()
+        assert emitted.get("route.parallel.waves", 0) >= 1
+        assert emitted.get("route.parallel.commits", 0) >= 1
+
+    def test_non_state_engine_falls_back_to_serial(self):
+        diagram = _placed(example1_string())
+        counters.get_registry().reset()
+        report = route_diagram(
+            diagram, RouterOptions(parallel_nets=True, engine="reference")
+        )
+        assert report.nets_failed == 0
+        # No waves: only the state engine reports search footprints.
+        assert _parallel_counters() == {}
+
+
+def _corridor_diagram() -> Diagram:
+    """Two modules facing each other across a corridor, with two nets
+    that *cross* inside it — any wave putting both nets together is
+    certain to conflict, because the second net's route (and therefore
+    its search footprint) passes over the tracks the first one takes."""
+    net = Network(name="corridor")
+    net.add_module(
+        make_module("a", 3, 6, [("y1", "out", 3, 1), ("y2", "out", 3, 4)])
+    )
+    net.add_module(
+        make_module("b", 3, 6, [("x1", "in", 0, 1), ("x2", "in", 0, 4)])
+    )
+    net.connect("n1", "a.y1", "b.x2")
+    net.connect("n2", "a.y2", "b.x1")
+    diagram = Diagram(net)
+    diagram.place_module("a", Point(0, 0))
+    diagram.place_module("b", Point(9, 0))
+    return diagram
+
+
+class TestConflictRollback:
+    def test_forced_wave_conflicts_deterministically(self, monkeypatch):
+        # Force both corridor nets into one wave (their pin boxes overlap,
+        # so the wave builder would normally keep them serial) and check
+        # the conflict path: detected, counted, and re-routed to exactly
+        # the serial result — twice, to pin down determinism.
+        monkeypatch.setattr(
+            eureka, "_conflict_unlikely_waves", lambda diagram, todo: [list(todo)]
+        )
+        serial = _corridor_diagram()
+        rs = route_diagram(serial, RouterOptions())
+        assert rs.nets_failed == 0
+        runs = []
+        for _ in range(2):
+            parallel = _corridor_diagram()
+            counters.get_registry().reset()
+            rp = route_diagram(parallel, RouterOptions(parallel_nets=True))
+            assert rp.nets_failed == 0
+            assert _routes_equal(serial, parallel)
+            runs.append(_parallel_counters())
+        assert runs[0] == runs[1]
+        assert runs[0]["route.parallel.conflicts"] >= 1
+        assert runs[0]["route.parallel.rollbacks"] >= 1
+
+    def test_wave_builder_separates_overlapping_nets(self):
+        diagram = _corridor_diagram()
+        todo = ["n1", "n2"]
+        waves = eureka._conflict_unlikely_waves(diagram, todo)
+        assert waves == [["n1"], ["n2"]]
+        assert [n for wave in waves for n in wave] == todo
+
+
+def _canonical_index(index: PlaneIndex) -> dict:
+    """Every non-lazy aggregate of the index, in comparable form."""
+    return {
+        "h_block": dict(index.h_block),
+        "v_block": dict(index.v_block),
+        "blocked_h_pts": set(index.blocked_h_pts),
+        "blocked_v_pts": set(index.blocked_v_pts),
+        "cross_h": dict(index.cross_h),
+        "cross_v": dict(index.cross_v),
+        "occ": dict(index.occ),
+        "occ_pts": set(index.occ_pts),
+        "contrib": {n: dict(c) for n, c in index.contrib.items()},
+        "rows": {y: set(xs) for y, xs in index._rows.items() if xs},
+        "cols": {x: set(ys) for x, ys in index._cols.items() if ys},
+        "cross_by_row": {
+            y: dict(row) for y, row in index._cross_by_row.items() if row
+        },
+        "cross_by_col": {
+            x: dict(col) for x, col in index._cross_by_col.items() if col
+        },
+    }
+
+
+def _fresh_rebuild(plane: Plane) -> PlaneIndex:
+    fresh = PlaneIndex(plane)
+    for p in plane.blocked:
+        fresh.blocked_added(p)
+    fresh.rebuild()
+    return fresh
+
+
+class TestRemoveNetRollback:
+    def test_remove_net_matches_fresh_rebuild(self):
+        diagram = _placed(WORKLOADS["random"]())
+        report = route_diagram(diagram, RouterOptions())
+        routed = [n for n, r in diagram.routes.items() if r.paths]
+        assert report.nets_routed and routed
+        plane = Plane.for_diagram(diagram)
+        victim = sorted(routed)[len(routed) // 2]
+        assert plane.net_points(victim)
+
+        plane.remove_net(victim)
+
+        # The O(own net) unwind must equal a from-scratch rebuild of the
+        # same (now net-less) plane, aggregate for aggregate.
+        assert _canonical_index(plane.index) == _canonical_index(
+            _fresh_rebuild(plane)
+        )
+        assert victim not in plane.nodes
+        assert not plane.net_points(victim)
+        assert all(victim not in nets for nets in plane.usage.values())
+
+    def test_remove_net_is_idempotent_for_unknown_net(self):
+        diagram = _placed(example1_string())
+        plane = Plane.for_diagram(diagram)
+        before = _canonical_index(plane.index)
+        plane.remove_net("no-such-net")
+        assert _canonical_index(plane.index) == before
+
+
+class TestBidirectionalExact:
+    @pytest.mark.parametrize(
+        "order", [CostOrder.BENDS_CROSSINGS_LENGTH, CostOrder.BENDS_LENGTH_CROSSINGS]
+    )
+    def test_bidirectional_matches_reference_optimum(self, order):
+        diagram = _placed(WORKLOADS["example2"]())
+        counters.get_registry().reset()
+        report = route_diagram(
+            diagram,
+            RouterOptions(
+                cost_order=order, bidirectional=True, verify_optimum=True
+            ),
+        )
+        snap = counters.get_registry().snapshot()
+        data = snap.get("counters", snap)
+        assert data.get("route.verified_connections", 0) >= report.nets_routed
+        assert data.get("route.verify_mismatch", 0) == 0
+        check_diagram(diagram)
+
+    def test_bidirectional_same_metrics_as_serial(self):
+        base = _placed(WORKLOADS["random"]())
+        uni, bidi = copy.deepcopy(base), copy.deepcopy(base)
+        ru = route_diagram(uni, RouterOptions())
+        rb = route_diagram(bidi, RouterOptions(bidirectional=True))
+        assert (ru.nets_routed, ru.nets_failed) == (rb.nets_routed, rb.nets_failed)
+        mu, mb = diagram_metrics(uni), diagram_metrics(bidi)
+        # Equal-cost tie-break paths may differ; the optimum totals may not.
+        assert (mu.bends, mu.crossovers) == (mb.bends, mb.crossovers)
