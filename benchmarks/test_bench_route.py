@@ -289,6 +289,59 @@ def test_bench_route_parallel_scaling(benchmark, experiment_store):
         )
 
 
+def test_bench_route_profile_attribution(benchmark, experiment_store):
+    """Sampler-measured cost attribution: route the datapath workload
+    under a high-hz sampling profiler and report the hottest self-time
+    frames next to the wall clock.  Also projects the measured per-tick
+    cost down to the always-on 19 hz rate and enforces the <2% overhead
+    budget that rate is sold on."""
+    from repro.obs.sampler import DEFAULT_HZ, Sampler, label_thread, merge_windows, unlabel_thread
+
+    placed = _workloads()["datapath"]
+
+    def run():
+        sampler = Sampler(hz=199.0, window_s=1.0, max_windows=600)
+        label_thread("bench.route")
+        sampler.start()
+        try:
+            _, report, wall = _route_once(placed, RouterOptions())
+        finally:
+            sampler.stop()
+            unlabel_thread()
+        merged = merge_windows(sampler.windows())
+        per_tick_s = merged.self_s / max(1, merged.ticks)
+        return {
+            "wall_s": round(wall, 3),
+            "samples": merged.samples,
+            "ticks": merged.ticks,
+            "top_frames": merged.top_frames(5),
+            "attributed_ratio": round(merged.attributed_ratio(), 3),
+            "overhead_at_19hz": round(per_tick_s * DEFAULT_HZ, 5),
+            "routed": f"{report.nets_routed}/{report.nets_total}",
+        }
+
+    row = once(benchmark, run)
+    print_table(
+        "datapath routing under the sampler",
+        [
+            {"frame": name, "self_samples": count,
+             "share": f"{100.0 * count / max(1, row['samples']):.1f}%"}
+            for name, count in row["top_frames"]
+        ],
+    )
+    experiment_store["route_profile"] = row
+
+    assert row["samples"] > 0, "sampler saw no stacks during the route"
+    # The hottest frames must be the router's own machinery, not noise.
+    assert any(
+        "repro.route" in name for name, _ in row["top_frames"]
+    ), row["top_frames"]
+    assert row["overhead_at_19hz"] < 0.02, (
+        f"always-on sampling would cost {100 * row['overhead_at_19hz']:.2f}% "
+        "of wall clock at 19 hz (budget: 2%)"
+    )
+
+
 def test_bench_route_summary(experiment_store):
     """Persist the routing-bench numbers as ``BENCH_route.json``."""
     engines = experiment_store.get("route_engines")
@@ -304,6 +357,7 @@ def test_bench_route_summary(experiment_store):
                 "parallel_scaling": experiment_store.get("route_scaling"),
                 "per_connection_view": experiment_store.get("route_view_cost"),
                 "verified_examples": experiment_store.get("route_verified"),
+                "profile": experiment_store.get("route_profile"),
             },
             indent=1,
         )

@@ -104,7 +104,7 @@ def _version_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def _obs_args(parser: argparse.ArgumentParser) -> None:
-    """``--trace``/``--profile``/``--runlog``/``--log-level`` flags."""
+    """``--trace``/``--profile``/``--flame``/``--runlog``/``--log-level``."""
     parser.add_argument(
         "--trace",
         metavar="FILE",
@@ -114,6 +114,11 @@ def _obs_args(parser: argparse.ArgumentParser) -> None:
         "--profile",
         action="store_true",
         help="print the hierarchical time tree and event counters after the run",
+    )
+    parser.add_argument(
+        "--flame",
+        metavar="FILE",
+        help="sample the run's stacks and write a flamegraph HTML here",
     )
     parser.add_argument(
         "--runlog",
@@ -126,11 +131,20 @@ def _obs_args(parser: argparse.ArgumentParser) -> None:
 
 def _obs_begin(args: argparse.Namespace):
     """Configure logging and, when asked for, turn tracing on (the run
-    registry needs per-stage timings, so ``--runlog`` implies tracing)."""
+    registry needs per-stage timings, so ``--runlog`` implies tracing;
+    ``--flame`` does too — sample attribution roots in the span path)."""
     setup_logging(args.log_level)
+    if getattr(args, "flame", None):
+        from .obs.sampler import CAPTURE_HZ, ensure_sampler
+
+        # High-hz with 1 s windows and a deep ring: CLI runs are short,
+        # and the flamegraph should cover the whole run, not a trailing
+        # minute of it.
+        ensure_sampler(hz=CAPTURE_HZ, window_s=1.0, max_windows=600)
     if (
         getattr(args, "trace", None)
         or getattr(args, "profile", False)
+        or getattr(args, "flame", None)
         or getattr(args, "runlog", None)
     ):
         return enable_tracing()
@@ -147,6 +161,26 @@ def _obs_end(args: argparse.Namespace, tracer) -> None:
     Runs from ``finally`` blocks, so the trace survives aborted runs
     (DiagramError mid-pipeline still leaves the spans collected so far).
     """
+    if getattr(args, "flame", None):
+        from .obs.sampler import get_sampler, merge_windows, write_flamegraph_html
+
+        sampler = get_sampler()
+        if sampler is not None:
+            sampler.stop()
+            windows = sampler.windows()
+            try:
+                write_flamegraph_html(
+                    args.flame, windows,
+                    title=f"sampled run — {Path(args.flame).stem}",
+                )
+            except OSError as exc:
+                raise _fail(f"cannot write flamegraph {args.flame!r}: {exc}") from exc
+            merged = merge_windows(windows)
+            print(
+                f"flamegraph -> {args.flame} ({merged.samples} samples at "
+                f"{sampler.hz:g} hz, "
+                f"{100.0 * merged.attributed_ratio():.1f}% attributed)"
+            )
     if tracer is None:
         return
     if args.trace:

@@ -44,6 +44,9 @@ Known injection points (grep for ``fault(`` to audit):
 ``pool.ipc``              worker→parent result delivery, before the
                           ``done`` message is queued
 ``journal.append``        :meth:`repro.gateway.journal.JobJournal.append`
+``sampler.tick``          :meth:`repro.obs.sampler.Sampler.tick` — the
+                          sampler absorbs the fault itself (profiling
+                          failures must never break the pipeline)
 ========================  ==================================================
 
 Worker processes inherit the registry through ``fork`` (or re-read the

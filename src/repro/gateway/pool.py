@@ -57,6 +57,7 @@ from typing import Any, Callable
 
 from ..faults import CRASH_EXIT_CODE, get_faults
 from ..obs.counters import get_registry
+from ..obs.sampler import ensure_sampler, label_thread, set_sampler
 from ..obs.trace import TraceContext, set_trace_context
 from ..service.scheduler import execute_job, run_with_timeout
 
@@ -205,6 +206,12 @@ def _worker_main(inbox, results, worker, wants_progress) -> None:
         except (BrokenPipeError, OSError):  # parent is gone — stop working
             return False
 
+    # Fresh always-on sampler for this child: the forked-in parent
+    # sampler is a dead thread holding the *parent's* windows, which
+    # must not leak into this worker's job payloads.
+    set_sampler(None)
+    ensure_sampler()
+    label_thread("worker.main")
     while True:
         item = inbox.get()
         if item is None:
@@ -500,6 +507,7 @@ class WorkerPool:
     # -- collection and liveness ---------------------------------------
 
     def _collect(self) -> None:
+        label_thread("pool.collector")
         last_reap = time.monotonic()
         while True:
             with self._lock:

@@ -24,7 +24,10 @@ Endpoints::
     WS   /v1/jobs/{id}/events streamed progress: queued -> running ->
                               stage:placement -> stage:routing -> done
     GET  /v1/stats            windowed RED telemetry (1m/5m/15m qps,
-                              error %, p50/p95) + live gauges, JSON
+                              error %, p50/p95) + live gauges + the
+                              always-on profiler snapshot, JSON
+    POST /v1/profile          on-demand high-hz capture (?seconds=N);
+                              returns a self-contained flamegraph HTML
     GET  /healthz             worker liveness + queue depth (always open)
     GET  /metrics             Prometheus text from the obs registry
 
@@ -60,6 +63,14 @@ from ..formats.escher import read_escher
 from ..obs import Registry, RunLog, get_logger, get_registry, span
 from ..obs.prometheus import render_prometheus
 from ..obs.runlog import stages_from_spans
+from ..obs.sampler import (
+    CAPTURE_HZ,
+    capture,
+    ensure_sampler,
+    get_sampler,
+    label_thread,
+    render_flamegraph_html,
+)
 from ..obs.trace import (
     Span,
     TraceContext,
@@ -91,6 +102,9 @@ from .rate_limit import RateLimiter
 
 #: Longest ``?wait=`` long-poll the server will hold a request open for.
 MAX_WAIT_S = 60.0
+
+#: Longest on-demand profile capture (``POST /v1/profile?seconds=``).
+MAX_PROFILE_S = 30.0
 
 #: Job states that will never change again.
 TERMINAL = ("ok", "error", "timeout", "crashed", "cancelled")
@@ -393,6 +407,7 @@ class ArtworkGateway:
             ("GET", re.compile(r"^/v1/jobs/([^/]+)/events$"), "/v1/jobs/{id}/events",
              self._job_events_poll),
             ("GET", re.compile(r"^/v1/stats$"), "/v1/stats", self._stats),
+            ("POST", re.compile(r"^/v1/profile$"), "/v1/profile", self._profile),
             ("GET", re.compile(r"^/healthz$"), "/healthz", self._healthz),
             ("GET", re.compile(r"^/metrics$"), "/metrics", self._metrics),
         ]
@@ -402,6 +417,10 @@ class ArtworkGateway:
 
     async def start(self) -> "ArtworkGateway":
         self._loop = asyncio.get_running_loop()
+        # Always-on low-hz profiling of the gateway process itself; the
+        # event-loop thread carries no spans while it waits, so label it.
+        label_thread("gateway.loop")
+        ensure_sampler()
         self.pool.start()
         self._replay_journal()
         self._server = await asyncio.start_server(
@@ -944,6 +963,23 @@ class ArtworkGateway:
             "total_s": round(total, 6),
         }
         root = job.trace_tree()
+        # The profile windows that overlapped the slow request: the
+        # gateway's own, plus any the worker shipped with the result.
+        windows: list[dict] = []
+        sampler = get_sampler()
+        if sampler is not None and job.finished_at is not None:
+            windows.extend(
+                w.to_dict()
+                for w in sampler.windows_overlapping(job.received_at, job.finished_at)
+            )
+        for w in payload.get("profile") or []:
+            if (
+                isinstance(w, dict)
+                and job.finished_at is not None
+                and w.get("started_at", 0.0) <= job.finished_at
+                and w.get("ended_at", 0.0) >= job.received_at
+            ):
+                windows.append(w)
         self.config.runlog.record(
             kind="slow",
             name=job.spec.name,
@@ -954,6 +990,7 @@ class ArtworkGateway:
             # whole process-global registry per exemplar.
             counters={"counters": {}, "histograms": {}},
             profile="",
+            profile_windows=windows,
             extra={
                 "trace_id": job.trace_id,
                 "job_id": job.id,
@@ -1016,12 +1053,17 @@ class ArtworkGateway:
                 },
                 congestion=dict(payload.get("congestion", {}) or {}),
                 profile="",
+                profile_windows=list(payload.get("profile") or []),
                 extra={
                     "status": job.status,
                     "from_cache": job.from_cache,
                     "attempts": job.attempts,
                     "job_id": job.id,
                     "trace_id": job.trace_id,
+                    **(
+                        {"search": payload["search"]}
+                        if payload.get("search") else {}
+                    ),
                 },
             )
         if job.status != "ok":
@@ -1260,6 +1302,15 @@ class ArtworkGateway:
             gauges["gateway.breaker_heals_total"] = breaker.get("heals", 0)
         gauges["gateway.kill_escalated_total"] = health.get("kill_escalated", 0)
         gauges["gateway.deadline_cancelled_total"] = health.get("deadline_cancelled", 0)
+        sampler = get_sampler()
+        if sampler is not None:
+            snap = sampler.snapshot()
+            gauges["gateway.sampler_running"] = 1 if snap["running"] else 0
+            gauges["gateway.sampler_hz"] = snap["hz"]
+            gauges["gateway.sampler_ticks_total"] = snap["ticks"]
+            gauges["gateway.sampler_errors_total"] = snap["errors"]
+            gauges["gateway.sampler_overhead_ratio"] = snap["overhead_ratio"]
+            gauges["gateway.sampler_attributed_ratio"] = snap["attributed_ratio"]
         if self.config.journal is not None:
             snap = self.config.journal.snapshot()
             gauges["gateway.journal_live_jobs"] = snap["live_jobs"]
@@ -1344,6 +1395,10 @@ class ArtworkGateway:
                 )
             },
         }
+        sampler = get_sampler()
+        body["profile"] = (
+            sampler.snapshot() if sampler is not None else {"running": False}
+        )
         if self.config.journal is not None:
             body["journal"] = self.config.journal.snapshot()
         faults = get_faults()
@@ -1367,6 +1422,35 @@ class ArtworkGateway:
                 "rejected": limiter.rejected,
             }
         return _json_response(200, body)
+
+    async def _profile(self, request: HTTPRequest, _match, _ctx) -> Response:
+        """On-demand high-hz capture of the gateway process: sample for
+        ``?seconds=N`` (clamped to :data:`MAX_PROFILE_S`) off the event
+        loop and return a self-contained flamegraph HTML page.  The
+        always-on windows collected so far ride along in the page too,
+        so a single POST shows both the burst and the trailing minute."""
+        try:
+            seconds = float(request.query.get("seconds", "1"))
+        except ValueError:
+            return _error(400, "seconds must be a number")
+        seconds = min(max(seconds, 0.05), MAX_PROFILE_S)
+        try:
+            hz = float(request.query.get("hz", str(CAPTURE_HZ)))
+        except ValueError:
+            return _error(400, "hz must be a number")
+        hz = min(max(hz, 1.0), 997.0)
+        self._inc("gateway.profile_captures")
+        window = await asyncio.to_thread(capture, seconds, hz=hz)
+        html = render_flamegraph_html(
+            [window],
+            title=f"artwork-serve profile — {seconds:g}s at {hz:g} hz",
+        )
+        return Response(
+            200,
+            html,
+            content_type="text/html; charset=utf-8",
+            headers={"x-profile-samples": str(window.samples)},
+        )
 
 
 # -- embedding helpers (tests, benchmarks, notebooks) -----------------------

@@ -13,6 +13,11 @@ serves, so daemon traffic shows up alongside batch and bench runs —
   ``--trace`` exports the span tree as Chrome trace JSON),
 * ``slow``    — the gateway's ``kind="slow"`` latency exemplars with their
   auth/parse/queue/worker breakdowns,
+* ``flame``   — render a run's shipped profile windows as a standalone
+  flamegraph HTML page,
+* ``explain`` — the router's search introspection for one net: pops vs.
+  the initial bound estimate, escalations, footprint area, and any
+  parallel-wave conflicts/rollbacks that involved it,
 * ``diff``    — metric deltas between two runs,
 * ``report``  — self-contained HTML diagnostics report for a run,
 * ``regress`` — compare the latest (or freshly captured) run per workload
@@ -45,6 +50,7 @@ from .obs.runlog import (
     diff_records,
     git_rev,
 )
+from .obs.sampler import merge_windows, write_flamegraph_html
 from .render.svg import save_svg
 from .service.jobs import pablo_from_dict, router_from_dict
 from .cli import (
@@ -240,6 +246,115 @@ def _cmd_slow(args: argparse.Namespace) -> int:
         )
     _print_table(f"slow requests ({log.path})", rows)
     print("\nuse `artwork-inspect show <id> --trace out.json` for the span tree")
+    return 0
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    """Render one run's profile windows as a flamegraph HTML page."""
+    log = _load_log(args)
+    record = _resolve(log, args.run)
+    windows = record.profile_windows or []
+    if not windows:
+        raise _fail(
+            f"run {record.run_id} carries no profile windows "
+            "(was the sampler disabled? ARTWORK_SAMPLER_HZ=0)"
+        )
+    out = Path(args.output or f"flame_{record.run_id}.html")
+    write_flamegraph_html(
+        out, windows, title=f"{record.name} — {record.run_id}"
+    )
+    merged = merge_windows(windows)
+    print(
+        f"flamegraph -> {out} ({merged.samples} samples over "
+        f"{len(windows)} window(s), "
+        f"{100.0 * merged.attributed_ratio():.1f}% attributed)"
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Explain the router's search effort for one net of a recorded run."""
+    log = _load_log(args)
+    record = _resolve(log, args.run)
+    search = (record.extra or {}).get("search") or {}
+    nets = search.get("nets") or {}
+    if not nets:
+        raise _fail(
+            f"run {record.run_id} carries no search introspection "
+            "(recorded before it existed, or not a routing run)"
+        )
+    if args.net is None:
+        rows = [
+            {
+                "net": net,
+                "conns": agg.get("connections", 0),
+                "pops": agg.get("pops", 0),
+                "bound_est": agg.get("bound_est", 0),
+                "escalations": agg.get("escalations", 0),
+                "area": agg.get("area", 0),
+                "seconds": f"{agg.get('seconds', 0.0):.4f}",
+                "outcome": agg.get("outcome", "?"),
+            }
+            for net, agg in sorted(
+                nets.items(), key=lambda kv: -kv[1].get("pops", 0)
+            )[: args.limit or len(nets)]
+        ]
+        _print_table(f"search effort by net ({record.run_id})", rows)
+        tightness = search.get("bound_tightness") or {}
+        if tightness:
+            print("\nbound tightness (estimate/actual, 1.0 = exact):")
+            for bucket in sorted(tightness):
+                print(f"  {bucket:<12}{tightness[bucket]}")
+        print("\nuse `artwork-inspect explain <run> <net>` for one net's detail")
+        return 0
+    agg = nets.get(args.net)
+    if agg is None:
+        sample = ", ".join(sorted(nets)[:8])
+        raise _fail(
+            f"run {record.run_id} has no net {args.net!r} "
+            f"(nets include: {sample}{'...' if len(nets) > 8 else ''})"
+        )
+    print(f"net {args.net} ({record.run_id}/{record.name}): {agg.get('outcome', '?')}")
+    for key in ("connections", "pops", "pruned", "bound_est",
+                "escalations", "failures", "area"):
+        print(f"  {key:<14}{agg.get(key, 0)}")
+    print(f"  {'seconds':<14}{agg.get('seconds', 0.0):.4f}")
+    detail = [
+        row for row in (search.get("connections") or [])
+        if row.get("net") == args.net
+    ]
+    if detail:
+        rows = [
+            {
+                "start": f"{row.get('start', ['?', '?'])}",
+                "targets": row.get("targets", 0),
+                "pops": row.get("pops", 0),
+                "pruned": row.get("pruned", 0),
+                "bound": f"{row.get('bound') or '—'}",
+                "cost": f"{row.get('cost') or '—'}",
+                "escalated": "yes" if row.get("escalated") else "",
+                "found": "yes" if row.get("found") else "NO",
+                "seconds": f"{row.get('seconds', 0.0):.4f}",
+            }
+            for row in detail
+        ]
+        _print_table("per-connection search detail", rows)
+    else:
+        print(
+            "\n(no per-connection rows persisted for this net — only the "
+            f"top {len(search.get('connections') or [])} by pops are kept)"
+        )
+    events = [
+        e for e in (search.get("parallel") or []) if e.get("net") == args.net
+    ]
+    if events:
+        print("\nparallel-wave events:")
+        for event in events:
+            rollback = " (rolled back committed paths)" if event.get("rollback") else ""
+            print(
+                f"  wave {event.get('wave', '?')}: {event.get('outcome', '?')} — "
+                f"{event.get('cause', '?')}{rollback}"
+            )
     return 0
 
 
@@ -533,6 +648,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_slow.add_argument("--name", help="filter by workload name")
     p_slow.add_argument("-n", "--limit", type=int, default=20, help="worst N only")
     p_slow.set_defaults(func=_cmd_slow)
+
+    p_flame = sub.add_parser(
+        "flame", help="render a run's profile windows as flamegraph HTML"
+    )
+    p_flame.add_argument("run", help="run id (or unique prefix)")
+    _runlog_arg(p_flame)
+    p_flame.add_argument("-o", "--output", help="output HTML path")
+    p_flame.set_defaults(func=_cmd_flame)
+
+    p_explain = sub.add_parser(
+        "explain", help="explain the router's search effort for one net"
+    )
+    p_explain.add_argument("run", help="run id (or unique prefix)")
+    p_explain.add_argument(
+        "net", nargs="?", help="net name (omit for the per-net overview)"
+    )
+    _runlog_arg(p_explain)
+    p_explain.add_argument(
+        "-n", "--limit", type=int, default=30,
+        help="overview rows (default: 30 hottest nets by pops)",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_journal = sub.add_parser(
         "journal", help="summarize a gateway write-ahead journal file"

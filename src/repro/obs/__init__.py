@@ -6,6 +6,9 @@ Tier 1 — live, in-process telemetry every other subsystem records into:
   trace-event export and a plain-text profile tree;
 * :mod:`repro.obs.counters` — process-local counters/histograms (with
   reservoir percentiles) and cross-process snapshot merging;
+* :mod:`repro.obs.sampler` — the always-on stack-sampling profiler
+  (span-attributed profile windows, cross-process shipping, HTML
+  flamegraphs);
 * :mod:`repro.obs.logging` — structured ``repro.*`` logger setup.
 
 Tier 2 — durable, comparable run telemetry built on tier 1:
@@ -28,10 +31,23 @@ from .runlog import (
     diff_records,
 )
 from .report import render_html_report, write_html_report
+from .sampler import (
+    ProfileWindow,
+    Sampler,
+    capture,
+    ensure_sampler,
+    get_sampler,
+    label_thread,
+    merge_windows,
+    render_flamegraph_html,
+    set_sampler,
+    write_flamegraph_html,
+)
 from .trace import (
     Span,
     TraceContext,
     Tracer,
+    active_span_paths,
     chrome_trace_document,
     chrome_trace_events,
     current_trace_context,
@@ -49,36 +65,47 @@ from .window import WINDOWS, RollingWindow
 
 __all__ = [
     "CongestionMap",
+    "ProfileWindow",
     "Registry",
     "Regression",
     "RollingWindow",
     "RunLog",
     "RunRecord",
+    "Sampler",
     "Span",
     "TraceContext",
     "Tracer",
     "WINDOWS",
+    "active_span_paths",
     "add_log_argument",
+    "capture",
     "check_regressions",
     "chrome_trace_document",
     "chrome_trace_events",
     "current_trace_context",
     "diff_records",
     "enable_tracing",
+    "ensure_sampler",
     "get_logger",
     "get_registry",
+    "get_sampler",
     "get_tracer",
     "inc",
+    "label_thread",
+    "merge_windows",
     "new_span_id",
     "new_trace_id",
     "observe",
     "parse_traceparent",
+    "render_flamegraph_html",
     "render_html_report",
     "set_registry",
+    "set_sampler",
     "set_trace_context",
     "set_tracer",
     "setup_logging",
     "span",
     "trace_context_from_headers",
+    "write_flamegraph_html",
     "write_html_report",
 ]

@@ -35,6 +35,29 @@ DEFAULT_BUCKETS = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
 
+#: Curated HELP lines for metrics whose dotted name alone under-explains
+#: them; per-call ``help_texts`` overrides these.
+WELL_KNOWN_HELP = {
+    "sampler.errors": (
+        "Sampler ticks that raised and were absorbed "
+        "(profiling failures never break the pipeline)."
+    ),
+    "gateway.sampler_running": "1 while the always-on sampling profiler is up.",
+    "gateway.sampler_hz": "Always-on sampling rate in stacks per second.",
+    "gateway.sampler_ticks_total": "Sampling passes taken since process start.",
+    "gateway.sampler_errors_total": "Sampling passes that raised and were absorbed.",
+    "gateway.sampler_overhead_ratio": (
+        "Sampler self-time as a fraction of profiled wall clock."
+    ),
+    "gateway.sampler_attributed_ratio": (
+        "Fraction of stack samples rooted in a named span or thread label."
+    ),
+    "route.bound_tightness": (
+        "Initial A* bound estimate over the final routed cost "
+        "(1.0 = the bound was exact)."
+    ),
+}
+
 
 def metric_name(name: str, *, prefix: str = PREFIX) -> str:
     """Mangle a dotted registry name into a legal Prometheus name."""
@@ -117,9 +140,10 @@ def render_prometheus(
     instantaneous values (already-final numbers, not deltas); ``series``
     maps a dotted name to ``[(labels_dict, value), ...]`` sample lists
     rendered as one labeled gauge family each.  ``help_texts`` overrides
-    the default HELP line (the dotted name) per dotted name.
+    the default HELP line (:data:`WELL_KNOWN_HELP`, then the dotted
+    name) per dotted name.
     """
-    help_texts = help_texts or {}
+    help_texts = {**WELL_KNOWN_HELP, **(help_texts or {})}
 
     def help_for(name: str, fallback: str) -> str:
         return help_texts.get(name, fallback)

@@ -2,19 +2,25 @@
 
 Renders a :class:`~repro.obs.runlog.RunRecord` — optionally against a
 baseline — into a single HTML file with no external assets: run header,
-profile tree, counter tables with histogram percentiles, a
-Table-6.1-style quality row compared to the baseline, the congestion
-heatmap SVG rebuilt from the recorded matrix (no plane access, so zero
-rescans), and a per-net failure drill-down.
+profile tree, a CPU flamegraph rebuilt from the record's sampling
+windows, counter tables with histogram percentiles, a Table-6.1-style
+quality row compared to the baseline, the congestion heatmap SVG
+rebuilt from the recorded matrix (no plane access, so zero rescans), a
+per-net failure drill-down (each failed net linking into the
+search-introspection section) and the router's per-net search
+telemetry.  Every section degrades to a note when its data wasn't
+recorded — a report renders cleanly with tracing and profiling off.
 """
 
 from __future__ import annotations
 
 import html
+import re
 from pathlib import Path
 
 from .congestion import CongestionMap
 from .runlog import RunRecord, diff_records
+from .sampler import flamegraph_div, merge_windows
 
 _CSS = """
 body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
@@ -29,11 +35,23 @@ pre { background: #f6f3ea; padding: .8em; overflow-x: auto; font-size: .85em; }
 .better { color: #1a7a36; } .worse { color: #b3232a; font-weight: 600; }
 .muted { color: #777; } .svgbox { border: 1px solid #ddd; background: #fff;
   padding: .5em; overflow: auto; max-height: 40em; }
+.flame { position: relative; border: 1px solid #ddd; background: #fff;
+         font-size: 11px; font-family: ui-monospace, monospace; }
+.frame { position: absolute; height: 16px; line-height: 16px;
+         overflow: hidden; white-space: nowrap; text-overflow: clip;
+         border-radius: 2px; border: 1px solid rgba(255,255,255,.6);
+         box-sizing: border-box; padding: 0 2px; cursor: default; }
+.frame:hover { border-color: #222; z-index: 2; }
 """
 
 
 def _esc(value: object) -> str:
     return html.escape(str(value))
+
+
+def _anchor(kind: str, name: object) -> str:
+    """A safe, deterministic ``id=`` value for intra-report links."""
+    return f"{kind}-" + re.sub(r"[^A-Za-z0-9_.-]", "_", str(name))
 
 
 def _kv_table(pairs: list[tuple[str, object]]) -> str:
@@ -167,16 +185,125 @@ def _congestion_section(record: RunRecord) -> str:
 def _failures_section(record: RunRecord) -> str:
     if not record.failures:
         return "<p>every net routed — no failures to drill into</p>"
+    explainable = set((record.extra or {}).get("search", {}).get("nets", {}))
+    run_ref = (
+        f'run <code id="{_anchor("run", record.run_id)}">'
+        f"{_esc(record.run_id)}</code>"
+    )
+
+    def net_cell(net: str) -> str:
+        # Net names are user input — escape always, link into the
+        # search-introspection section when telemetry exists for them.
+        if net in explainable:
+            return f'<a href="#{_anchor("net", net)}">{_esc(net)}</a>'
+        return _esc(net)
+
     rows = "\n".join(
-        f'<tr><td class="key">{_esc(net)}</td>'
+        f'<tr><td class="key">{net_cell(net)}</td>'
         f'<td class="key">{_esc(info.get("reason", "?"))}</td>'
         f"<td>{_esc(info.get('unconnected_pins', 0))}</td></tr>"
         for net, info in sorted(record.failures.items())
     )
+    hint = (
+        f'<p class="muted">{run_ref} — linked nets jump to their search '
+        "telemetry; <code>artwork-inspect explain "
+        f"{_esc(record.run_id)} &lt;net&gt;</code> prints the same view."
+        "</p>"
+        if explainable
+        else ""
+    )
     return (
         '<table><tr><th class="key">net</th><th class="key">reason</th>'
-        f"<th>unconnected pins</th></tr>{rows}</table>"
+        f"<th>unconnected pins</th></tr>{rows}</table>{hint}"
     )
+
+
+def _flame_section(record: RunRecord) -> str:
+    windows = record.profile_windows or []
+    if not windows:
+        return (
+            '<p class="muted">no sampling-profiler windows in this record '
+            "(profiling was off, or the run predates the sampler)</p>"
+        )
+    merged = merge_windows(windows)
+    if not merged.samples:
+        return '<p class="muted">profiler ran but captured zero samples</p>'
+    top = "\n".join(
+        f'<tr><td class="key">{_esc(frame)}</td><td>{count}</td>'
+        f"<td>{100.0 * count / merged.samples:.1f}%</td></tr>"
+        for frame, count in merged.top_frames(8)
+    )
+    return (
+        f"<p>{merged.samples} samples over {merged.duration:.2f}s at "
+        f"{merged.hz:g} hz · sampler overhead "
+        f"{100.0 * merged.overhead_ratio:.2f}% · "
+        f"{100.0 * merged.attributed_ratio():.1f}% span-attributed</p>"
+        + flamegraph_div(merged.stacks)
+        + '<table><tr><th class="key">frame</th><th>self samples</th>'
+        f"<th>share</th></tr>{top}</table>"
+    )
+
+
+def _search_section(record: RunRecord) -> str:
+    search = (record.extra or {}).get("search", {})
+    nets = search.get("nets", {})
+    if not nets:
+        return (
+            '<p class="muted">no router search telemetry in this record</p>'
+        )
+    ordered = sorted(
+        nets.items(), key=lambda kv: -kv[1].get("pops", 0)
+    )
+    rows = "\n".join(
+        f'<tr><td class="key" id="{_anchor("net", net)}">{_esc(net)}</td>'
+        f"<td>{agg.get('connections', 0)}</td>"
+        f"<td>{agg.get('pops', 0)}</td>"
+        f"<td>{agg.get('bound_est', 0)}</td>"
+        f"<td>{agg.get('escalations', 0)}</td>"
+        f"<td>{agg.get('area', 0)}</td>"
+        f"<td>{agg.get('seconds', 0.0):.4f}</td>"
+        f'<td class="key">{_esc(agg.get("outcome", "routed"))}</td></tr>'
+        for net, agg in ordered[:40]
+    )
+    parts = [
+        '<table><tr><th class="key">net</th><th>connections</th>'
+        "<th>pops</th><th>bound est.</th><th>escalations</th>"
+        "<th>footprint area</th><th>seconds</th>"
+        f'<th class="key">outcome</th></tr>{rows}</table>'
+    ]
+    if len(ordered) > 40:
+        parts.append(
+            f'<p class="muted">…{len(ordered) - 40} quieter nets omitted '
+            "(full detail in the record)</p>"
+        )
+    tightness = search.get("bound_tightness", {})
+    if tightness:
+        trows = "\n".join(
+            f'<tr><td class="key">{_esc(bucket)}</td><td>{count}</td></tr>'
+            for bucket, count in sorted(tightness.items())
+        )
+        parts.append(
+            "<p>bound tightness (initial heuristic estimate ÷ final cost "
+            "per connection — 1.0 means the bound was exact):</p>"
+            '<table><tr><th class="key">tightness</th><th>connections</th>'
+            f"</tr>{trows}</table>"
+        )
+    parallel = search.get("parallel", [])
+    if parallel:
+        prows = "\n".join(
+            f'<tr><td class="key">{_esc(ev.get("net", "?"))}</td>'
+            f"<td>{_esc(ev.get('wave', '?'))}</td>"
+            f'<td class="key">{_esc(ev.get("outcome", "?"))}</td>'
+            f'<td class="key">{_esc(ev.get("cause", "—"))}</td></tr>'
+            for ev in parallel[:40]
+        )
+        parts.append(
+            "<p>speculative-wave outcomes (conflicts/rollbacks only):</p>"
+            '<table><tr><th class="key">net</th><th>wave</th>'
+            '<th class="key">outcome</th><th class="key">cause</th></tr>'
+            f"{prows}</table>"
+        )
+    return "".join(parts)
 
 
 def render_html_report(
@@ -190,9 +317,11 @@ def render_html_report(
     sections = [
         ("Run", _header_section(record)),
         ("Profile", _stages_section(record)),
+        ("Flamegraph", _flame_section(record)),
         ("Quality vs baseline", _quality_section(record, baseline)),
         ("Congestion heatmap", _congestion_section(record)),
         ("Failure drill-down", _failures_section(record)),
+        ("Search introspection", _search_section(record)),
         ("Counters", _counters_section(record)),
     ]
     body = "\n".join(

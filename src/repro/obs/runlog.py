@@ -31,6 +31,7 @@ from time import gmtime, strftime
 from typing import TYPE_CHECKING, Any, Iterable
 
 from .counters import get_registry
+from .sampler import get_sampler
 from .trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -113,6 +114,10 @@ class RunRecord:
     congestion: dict = field(default_factory=dict)
     #: Rendered profile tree text (when tracing was on) for reports.
     profile: str = ""
+    #: Sampling-profiler windows (:meth:`repro.obs.sampler.ProfileWindow
+    #: .to_dict` shape) that overlapped the run — what ``artwork-inspect
+    #: flame`` and the report's flamegraph section render.
+    profile_windows: list = field(default_factory=list)
     environment: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
@@ -176,15 +181,23 @@ class RunLog:
         failures: dict | None = None,
         congestion: dict | None = None,
         profile: str | None = None,
+        profile_windows: list | None = None,
         extra: dict | None = None,
     ) -> RunRecord:
         """Assemble a record (filling stages/counters/env from the live
-        tracer and registry when not given) and append it."""
+        tracer and registry when not given) and append it.
+
+        ``profile_windows`` defaults to whatever the process's always-on
+        sampler collected (empty when profiling is off); pass ``[]`` to
+        keep a record deliberately lean."""
         tracer = get_tracer()
         if stages is None:
             stages = tracer.stage_totals() if tracer.enabled else {}
         if profile is None:
             profile = tracer.profile_tree() if tracer.enabled else ""
+        if profile_windows is None:
+            sampler = get_sampler()
+            profile_windows = sampler.export() if sampler is not None else []
         record = RunRecord(
             kind=kind,
             name=name,
@@ -198,6 +211,7 @@ class RunLog:
             failures=failures or {},
             congestion=congestion or {},
             profile=profile,
+            profile_windows=profile_windows,
             environment=environment_info(),
             extra=extra or {},
         )
@@ -222,6 +236,10 @@ class RunLog:
             }
             for f in routing.failed_nets
         }
+        search_detail = dict(getattr(routing, "search_detail", {}) or {})
+        if search_detail:
+            extra = dict(extra or {})
+            extra.setdefault("search", search_detail)
         return self.record(
             kind=kind,
             name=name or result.diagram.network.name,

@@ -139,6 +139,37 @@ def current_trace_context() -> TraceContext | None:
     return _TRACE_CONTEXT
 
 
+#: Cross-thread view of the live span stacks: ``{thread id: [span name,
+#: ...]}``, outermost first.  Every tracer's push/pop maintains it (the
+#: owning thread appends/pops its own list — atomic under the GIL), so
+#: the sampling profiler can attribute a stack sample to the span path
+#: active on *any* thread without touching a tracer's ``threading.local``
+#: (which only the owning thread can read).
+_ACTIVE_SPANS: dict[int, list[str]] = {}
+
+
+def active_span_path(thread_id: int | None = None) -> tuple[str, ...]:
+    """The span-name path currently open on ``thread_id`` (default: the
+    calling thread), outermost first; empty when no span is live."""
+    if thread_id is None:
+        thread_id = threading.get_ident()
+    return tuple(_ACTIVE_SPANS.get(thread_id, ()))
+
+
+def active_span_paths() -> dict[int, tuple[str, ...]]:
+    """A point-in-time copy of every thread's live span path.
+
+    Safe to call from a sampling thread: iteration copies the table
+    first, and ``tuple(list)`` of a concurrently-appended list is atomic
+    under the GIL (worst case the sample sees the path one push early or
+    late — a one-sample attribution skew, never corruption)."""
+    return {
+        tid: tuple(names)
+        for tid, names in list(_ACTIVE_SPANS.items())
+        if names
+    }
+
+
 @dataclass
 class Span:
     """One timed region; ``start``/``duration`` are tracer-relative seconds."""
@@ -306,11 +337,19 @@ class Tracer:
 
     def _push(self, span_: Span) -> None:
         self._stack().append(span_)
+        tid = threading.get_ident()
+        names = _ACTIVE_SPANS.get(tid)
+        if names is None:
+            names = _ACTIVE_SPANS[tid] = []
+        names.append(span_.name)
 
     def _pop(self, span_: Span) -> None:
         stack = self._stack()
         if stack and stack[-1] is span_:
             stack.pop()
+        names = _ACTIVE_SPANS.get(threading.get_ident())
+        if names:
+            names.pop()
         if stack:
             stack[-1].children.append(span_)
         else:

@@ -142,6 +142,15 @@ class RoutingReport:
     #: (:meth:`repro.obs.congestion.CongestionMap.to_dict` shape) — this
     #: is what makes congestion observable per run without a plane rescan.
     congestion: dict = field(default_factory=dict)
+    #: Speculative-wave outcomes worth explaining: one dict per conflict
+    #: (``{net, wave, outcome, cause, rollback}``) under ``parallel_nets``.
+    parallel_events: list[dict] = field(default_factory=list)
+    #: Search introspection built from :attr:`search`: per-net aggregates,
+    #: the noisiest per-connection rows, a bound-tightness histogram and
+    #: the parallel-wave events — the JSON-able payload a
+    #: :class:`~repro.obs.runlog.RunRecord` stores under ``extra.search``
+    #: and ``artwork-inspect explain`` reads back.
+    search_detail: dict = field(default_factory=dict)
 
     @property
     def success_rate(self) -> float:
@@ -264,6 +273,7 @@ def route_diagram(
         report.nets_failed = len(failed)
         report.nets_routed = report.nets_total - report.nets_failed
         report.congestion = congestion_snapshot(plane)
+        report.search_detail = _search_detail(report)
         report.seconds = time.perf_counter() - started
         root_span.set(
             nets=report.nets_total,
@@ -291,6 +301,74 @@ def route_diagram(
             },
         )
     return report
+
+
+#: Per-connection rows persisted into a run record (the per-net
+#: aggregates always cover every net; the row detail keeps the noisiest
+#: searches only, so records stay a bounded size).
+_DETAIL_ROWS = 200
+
+
+def _search_detail(report: RoutingReport) -> dict:
+    """Aggregate the router's per-connection telemetry into the JSON
+    payload ``artwork-inspect explain`` and the HTML report consume."""
+    connections = report.search.connections
+    failed = {str(f) for f in report.failed_nets}
+    nets: dict[str, dict] = {}
+    tightness: dict[str, int] = {}
+    for row in connections:
+        agg = nets.setdefault(
+            row.get("net", "?"),
+            {
+                "connections": 0,
+                "pops": 0,
+                "pruned": 0,
+                "bound_est": 0,
+                "escalations": 0,
+                "area": 0,
+                "seconds": 0.0,
+                "failures": 0,
+            },
+        )
+        agg["connections"] += 1
+        agg["pops"] += int(row.get("pops", 0))
+        agg["pruned"] += int(row.get("pruned", 0))
+        bound = row.get("bound")
+        agg["bound_est"] += int(bound[0]) if bound else 0
+        agg["escalations"] += 1 if row.get("escalated") else 0
+        agg["area"] = max(agg["area"], int(row.get("area") or 0))
+        agg["seconds"] += float(row.get("seconds", 0.0))
+        agg["failures"] += 0 if row.get("found") else 1
+        cost = row.get("cost")
+        if row.get("found") and bound and cost:
+            ratio = (bound[0] + 1) / (cost[0] + 1)
+            if ratio >= 1.0:
+                bucket = "1.0 (exact)"
+            else:
+                lo = int(ratio * 10) / 10
+                bucket = f"{lo:.1f}-{lo + 0.1:.1f}"
+            tightness[bucket] = tightness.get(bucket, 0) + 1
+    for name, agg in nets.items():
+        agg["seconds"] = round(agg["seconds"], 6)
+        agg["outcome"] = "failed" if name in failed else "routed"
+    if not nets:
+        return {}
+    detail_rows = sorted(
+        connections, key=lambda r: -int(r.get("pops", 0))
+    )[:_DETAIL_ROWS]
+    return {
+        "nets": nets,
+        "connections": detail_rows,
+        "bound_tightness": tightness,
+        "parallel": list(report.parallel_events),
+        "summary": {
+            "connections": len(connections),
+            "pops": report.search.states_expanded,
+            "pruned": report.search.pruned,
+            "escalations": report.search.escalations,
+            "failures": report.search.failures,
+        },
+    }
 
 
 def _routable_nets(diagram: Diagram) -> list[str]:
@@ -575,6 +653,10 @@ def _merge_stats(into: SearchStats, other: SearchStats) -> None:
     into.states_expanded += other.states_expanded
     into.routes += other.routes
     into.failures += other.failures
+    into.pruned += other.pruned
+    into.escalations += other.escalations
+    for row in other.connections:
+        into.record_connection(row)
 
 
 def _route_net_speculative(
@@ -731,7 +813,7 @@ def _first_pass_parallel(
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="eureka-wave"
     ) as pool:
-        for wave in waves:
+        for wave_index, wave in enumerate(waves):
             outcomes: list[_SpecOutcome | None]
             if len(wave) == 1:
                 outcomes = [None]  # nothing to overlap with: route serially
@@ -770,6 +852,19 @@ def _first_pass_parallel(
                             counters.inc("route.parallel.conflicts")
                             if outcome.paths:
                                 counters.inc("route.parallel.rollbacks")
+                            report.parallel_events.append(
+                                {
+                                    "net": name,
+                                    "wave": wave_index,
+                                    "outcome": "conflict",
+                                    "cause": (
+                                        "unbounded_footprint"
+                                        if outcome.unbounded
+                                        else "footprint_overlap"
+                                    ),
+                                    "rollback": bool(outcome.paths),
+                                }
+                            )
                             _merge_stats(report.search, outcome.stats)
                         reason = _route_net(
                             plane, diagram, net, options, report.search

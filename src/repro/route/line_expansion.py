@@ -47,8 +47,9 @@ from __future__ import annotations
 
 import enum
 import heapq
+import time
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..core.geometry import Direction, Point, normalize_path
@@ -88,6 +89,12 @@ class RouteResult:
     footprint: tuple[int, int, int, int] | None = None
 
 
+#: Per-connection telemetry rows kept on one :class:`SearchStats` —
+#: enough for every net of the biggest bench workloads; beyond it the
+#: noisiest rows are already in, so further ones are dropped.
+MAX_CONNECTION_ROWS = 4096
+
+
 @dataclass
 class SearchStats:
     """Cumulative search effort (for the complexity experiments)."""
@@ -97,6 +104,16 @@ class SearchStats:
     failures: int = 0
     #: Heap entries skipped as stale/superseded (A* pruning bookkeeping).
     pruned: int = 0
+    #: Connections that escalated to the exact BFS bend-distance bound.
+    escalations: int = 0
+    #: Per-connection introspection rows ("why was this net slow") —
+    #: pops vs the initial bound estimate, escalation, footprint area,
+    #: final cost.  Bounded by :data:`MAX_CONNECTION_ROWS`.
+    connections: list[dict] = field(default_factory=list)
+
+    def record_connection(self, row: dict) -> None:
+        if len(self.connections) < MAX_CONNECTION_ROWS:
+            self.connections.append(row)
 
 
 _State = tuple[Point, Direction]
@@ -445,6 +462,8 @@ def route_connection(
     parents: dict[tuple[int, int, int], tuple[int, int, int] | None] = {}
     sx, sy = start.x, start.y
     zero = (0, 0, 0)
+    t_search = time.perf_counter()
+    initial_bound: tuple[int, int, int] | None = None
     for d in start_directions:
         di = _DIR_INDEX[d]
         state = (sx, sy, di)
@@ -452,6 +471,8 @@ def route_connection(
         parents[state] = None
         hb, hc, hl = heur(sx, sy, di)
         f = (hb, hc, hl) if crossings_first else (hb, hl, hc)
+        if initial_bound is None or f < initial_bound:
+            initial_bound = f
         heapq.heappush(heap, (f, counter, zero, state))
         counter += 1
 
@@ -600,6 +621,8 @@ def route_connection(
             dist_v.update(bfs_v)
             cur_heur = heur_exact
             counters.inc("route.heur_escalations")
+            if stats is not None:
+                stats.escalations += 1
             heap = []
             best = {}
             parents = {}
@@ -684,17 +707,44 @@ def route_connection(
                 heappush(heap, (f, counter, ncost, nstate))
                 counter += 1
 
+    found = goal_state is not None and goal_cost is not None
+    final_cost = (
+        _unkey(goal_cost, cost_order) if found else None
+    )  # (bends, crossings, length)
     if stats is not None:
         stats.states_expanded += expanded
         stats.pruned += pruned
         stats.routes += 1
-        if goal_state is None:
+        if not found:
             stats.failures += 1
+        row = {
+            "net": net,
+            "start": [sx, sy],
+            "targets": len(target_dirs),
+            "pops": expanded,
+            "pruned": pruned,
+            "bound": list(initial_bound) if initial_bound else None,
+            "cost": list(final_cost) if final_cost else None,
+            "escalated": escalated,
+            "found": found,
+            "area": (fx2 - fx1 + 1) * (fy2 - fy1 + 1),
+            "unbounded": escalated,
+            "seconds": round(time.perf_counter() - t_search, 6),
+        }
+        stats.record_connection(row)
     counters.inc("route.connections")
     counters.inc("route.expansions", expanded)
     counters.inc("route.astar_pruned", pruned)
     counters.observe("route.expansions_per_connection", expanded)
-    if goal_state is None or goal_cost is None:
+    if found and initial_bound is not None:
+        # Bound tightness: estimated total bends at the start vs the
+        # optimum actually found (1.0 = the bound was exact; +1 smooths
+        # the all-straight zero-bend case).
+        counters.observe(
+            "route.bound_tightness",
+            (initial_bound[0] + 1) / (final_cost[0] + 1),
+        )
+    if not found:
         counters.inc("route.connection_failures")
         return None
 
@@ -704,7 +754,7 @@ def route_connection(
         path.append(Point(cursor[0], cursor[1]))
         cursor = parents[cursor]
     path.reverse()
-    bends, crossings, length = _unkey(goal_cost, cost_order)
+    bends, crossings, length = final_cost
     return RouteResult(
         path=normalize_path(path),
         bends=bends,

@@ -39,6 +39,7 @@ from ..formats.escher import read_escher, write_escher
 from ..obs import get_logger, get_registry, get_tracer, span
 from ..obs.counters import Registry, set_registry
 from ..obs.runlog import RunLog, stages_from_spans
+from ..obs.sampler import ensure_sampler
 from ..obs.trace import Tracer, current_trace_context, set_tracer
 from .cache import ResultCache
 from .jobs import JobSpec
@@ -108,6 +109,10 @@ def execute_job(payload: dict, progress: Callable[[str], None] | None = None) ->
     notifications that the gateway streams to WebSocket subscribers.
     """
     started = time.perf_counter()
+    started_epoch = time.time()
+    # The always-on sampler survives across jobs in a pool worker; each
+    # job ships only the profile windows that overlap its own run.
+    sampler = ensure_sampler()
     # Record the job under a private tracer/registry: the spans and
     # counters travel back in the payload and are re-parented into the
     # parent process's trace by the scheduler.
@@ -141,9 +146,13 @@ def execute_job(payload: dict, progress: Callable[[str], None] | None = None) ->
                 for net, reason in result.routing.failure_reasons.items()
             },
             "congestion": result.routing.congestion,
+            "search": dict(getattr(result.routing, "search_detail", {}) or {}),
             "seconds": round(time.perf_counter() - started, 4),
             "trace": tracer.export_roots(),
             "counters": registry.snapshot(),
+            "profile": (
+                sampler.export(since=started_epoch) if sampler is not None else []
+            ),
         }
     except Exception as exc:  # noqa: BLE001 — worker must not die on bad jobs
         return {
@@ -220,8 +229,9 @@ class BatchScheduler:
 
     #: Payload keys that describe *how* a run went, not *what* it made —
     #: merged into the parent's telemetry on arrival and kept out of the
-    #: result cache (a warm hit must not replay the original run's spans).
-    TRANSIENT_KEYS = ("trace", "counters", "trace_id")
+    #: result cache (a warm hit must not replay the original run's spans
+    #: or claim its profile windows).
+    TRANSIENT_KEYS = ("trace", "counters", "trace_id", "profile")
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -338,11 +348,16 @@ class BatchScheduler:
                 },
                 congestion=dict(payload.get("congestion", {}) or {}),
                 profile="",
+                profile_windows=list(payload.get("profile") or []),
                 extra={
                     "status": outcome.status,
                     "from_cache": outcome.from_cache,
                     "attempts": outcome.attempts,
                     "error": outcome.error or "",
+                    **(
+                        {"search": payload["search"]}
+                        if payload.get("search") else {}
+                    ),
                 },
             )
         tracer = get_tracer()

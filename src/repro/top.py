@@ -2,8 +2,10 @@
 
 Polls the gateway's ``GET /v1/stats`` endpoint and redraws a compact
 ANSI screen: per-endpoint RED rows (qps, error %, p50/p95) for the
-selected window, pipeline stage latencies, queue depth, worker states
-and cache/rate-limiter gauges.  Stdlib only — plain ANSI escapes on the
+selected window, pipeline stage latencies, queue depth, worker states,
+circuit-breaker/journal health, cache/rate-limiter gauges, and — when
+the always-on profiler is up — the hottest self-time frames from its
+most recent sampling window.  Stdlib only — plain ANSI escapes on the
 alternate screen, no curses dependency — so it runs anywhere the
 gateway does::
 
@@ -106,6 +108,25 @@ def render_dashboard(stats: dict, *, window: str = "1m") -> str:
         extras.append(f"slow requests {totals['gateway.slow_requests']}")
     if extras:
         lines.append("  ".join(extras))
+    health = []
+    breaker = stats.get("breaker") or {}
+    if breaker:
+        state = breaker.get("state", "closed")
+        health.append(
+            f"breaker {state.upper() if state != 'closed' else state}"
+            f" ({breaker.get('failures_in_window', 0)}/{breaker.get('threshold', '?')}"
+            f" deaths, {breaker.get('trips', 0)} trips,"
+            f" {breaker.get('heals', 0)} heals)"
+        )
+    journal = stats.get("journal") or {}
+    if journal:
+        health.append(
+            f"journal {journal.get('live_jobs', 0)} live,"
+            f" {journal.get('appended', 0)} appended,"
+            f" {journal.get('compactions', 0)} compactions"
+        )
+    if health:
+        lines.append("  ".join(health))
     key_width = max(
         [len(k) for k in stats.get("endpoints", {})]
         + [len(k) for k in stats.get("stages", {})]
@@ -115,7 +136,37 @@ def render_dashboard(stats: dict, *, window: str = "1m") -> str:
     lines.extend(_red_section("endpoints", stats.get("endpoints", {}), window, key_width))
     lines.append("")
     lines.extend(_red_section("stages", stats.get("stages", {}), window, key_width))
+    profile = stats.get("profile") or {}
+    if profile.get("running"):
+        lines.append("")
+        lines.extend(_profile_section(profile, key_width))
     return "\n".join(lines)
+
+
+def _profile_section(profile: dict, width: int) -> list[str]:
+    """The always-on profiler pane: hottest self-time frames over the
+    sampler's most recent window."""
+    lines = [
+        f"profiler  ({profile.get('hz', 0):g} hz, "
+        f"{profile.get('ticks', 0)} ticks, "
+        f"overhead {100.0 * profile.get('overhead_ratio', 0.0):.2f}%, "
+        f"{100.0 * profile.get('attributed_ratio', 0.0):.0f}% attributed"
+        + (f", {profile['errors']} errors" if profile.get("errors") else "")
+        + ")"
+    ]
+    last = profile.get("last_window") or {}
+    frames = last.get("top_frames") or []
+    if not frames:
+        lines.append("  (no samples in the last window)")
+        return lines
+    samples = max(1, int(last.get("samples", 0)))
+    lines.append(f"  {'frame (self time)':<{width}}  {'samples':>8}  {'share':>6}")
+    for name, count in frames[:5]:
+        shown = name if len(name) <= width else "…" + name[-(width - 1):]
+        lines.append(
+            f"  {shown:<{width}}  {count:>8}  {100.0 * count / samples:>5.1f}%"
+        )
+    return lines
 
 
 def _fetch_stats(client: HttpClient) -> dict:

@@ -523,6 +523,84 @@ class TestSlowRequestCapture:
         assert config.runlog.runs(kind="slow") == []
 
 
+class TestProfiler:
+    def test_on_demand_profile_returns_flamegraph(self, client):
+        captured = client.post("/v1/profile?seconds=0.3", {})
+        assert captured.status == 200, captured.body
+        assert captured.headers["content-type"].startswith("text/html")
+        html = captured.body.decode()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Flamegraph" in html
+        # The event loop thread is labeled, so its samples attribute.
+        assert "gateway.loop" in html
+        assert int(captured.headers["x-profile-samples"]) > 0
+
+    def test_profile_rejects_bad_parameters(self, client):
+        assert client.post("/v1/profile?seconds=nope", {}).status == 400
+        assert client.post("/v1/profile?hz=nope", {}).status == 400
+        # Out-of-range durations clamp instead of erroring (or hanging).
+        quick = client.post("/v1/profile?seconds=0.0001", {})
+        assert quick.status == 200
+
+    def test_profile_requires_auth(self):
+        config = GatewayConfig(workers=1, auth=TokenAuth(["hunter2"]))
+        with start_gateway(config) as served:
+            with HttpClient("127.0.0.1", served.port) as anon:
+                assert anon.post("/v1/profile?seconds=0.1", {}).status == 401
+            with HttpClient("127.0.0.1", served.port, token="hunter2") as authed:
+                assert authed.post("/v1/profile?seconds=0.1", {}).status == 200
+
+    def test_stats_and_metrics_expose_sampler(self, client):
+        profile = client.get("/v1/stats").json()["profile"]
+        assert profile["running"] is True
+        assert profile["hz"] > 0
+        assert profile["ticks"] > 0
+        text = client.get("/metrics").body.decode()
+        assert "repro_gateway_sampler_running 1" in text
+        assert "repro_gateway_sampler_ticks_total" in text
+
+    def test_serve_records_ship_worker_profile(self, served, client):
+        """Every pipeline job's runlog record carries the worker-side
+        profile windows that overlapped its run."""
+        final = submit_and_wait(client, spec_for(seed=31, modules=9))
+        assert final["status"] == "ok"
+        records = served.gateway.config.runlog.runs(kind="serve")
+        windows = records[-1].profile_windows
+        assert windows, "worker shipped no profile windows"
+        assert all(w["samples"] > 0 for w in windows)
+        merged_stacks = {k for w in windows for k in w["stacks"]}
+        # Worker job execution runs under tracer spans, so stacks root
+        # in named spans rather than anonymous thread ids.
+        assert any(k.startswith(("job", "worker")) for k in merged_stacks), (
+            sorted(merged_stacks)[:5]
+        )
+
+    def test_profile_shipping_survives_worker_crash(self, served, client):
+        """A replacement worker (fresh fork) restarts its own sampler and
+        keeps shipping windows — the dead parent sampler must not leak."""
+        pool = served.gateway.pool
+        old_pid = pool.health()["workers"][0]["pid"]
+        os.kill(old_pid, signal.SIGKILL)
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            health = pool.health()
+            if health["alive"] == health["size"] and (
+                health["workers"][0]["pid"] != old_pid
+            ):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("worker was not replaced")
+        submitted_at = time.time()
+        final = submit_and_wait(client, spec_for(seed=32, modules=9))
+        assert final["status"] == "ok"
+        records = served.gateway.config.runlog.runs(kind="serve")
+        windows = records[-1].profile_windows
+        assert windows, "replacement worker shipped no profile windows"
+        # Fresh child sampler: no window predates the replacement fork.
+        assert all(w["ended_at"] >= submitted_at for w in windows)
+
+
 class TestGatewayGuards:
     def test_auth_401_and_authorized_access(self):
         config = GatewayConfig(workers=1, auth=TokenAuth(["hunter2"]))

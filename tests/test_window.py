@@ -219,3 +219,45 @@ class TestDashboardRenderer:
     def test_render_empty_stats(self):
         board = render_dashboard({"endpoints": {}, "stages": {}})
         assert "(no traffic yet)" in board
+
+    def test_render_breaker_journal_and_profiler(self):
+        stats = self._stats()
+        stats["breaker"] = {
+            "state": "open", "failures_in_window": 3, "threshold": 3,
+            "trips": 1, "heals": 0,
+        }
+        stats["journal"] = {"live_jobs": 2, "appended": 9, "compactions": 1}
+        stats["profile"] = {
+            "running": True, "hz": 19.0, "ticks": 1234, "errors": 1,
+            "overhead_ratio": 0.0042, "attributed_ratio": 0.93,
+            "last_window": {
+                "samples": 95, "duration_s": 5.0,
+                "top_frames": [["repro.route.expand", 40],
+                               ["repro.place.sweep", 30],
+                               ["idle.wait", 25]],
+                "spans": {"job>eureka.route": 70, "": 25},
+            },
+        }
+        board = render_dashboard(stats, window="1m")
+        assert "breaker OPEN (3/3 deaths, 1 trips, 0 heals)" in board
+        assert "journal 2 live, 9 appended, 1 compactions" in board
+        assert "profiler  (19 hz, 1234 ticks" in board
+        assert "93% attributed" in board and "1 errors" in board
+        assert "repro.route.expand" in board
+        assert "42.1%" in board  # 40/95 self-time share
+
+    def test_profiler_pane_hidden_when_sampler_off(self):
+        stats = self._stats()
+        stats["profile"] = {"running": False}
+        board = render_dashboard(stats, window="1m")
+        assert "profiler" not in board
+
+    def test_profiler_pane_empty_window(self):
+        stats = self._stats()
+        stats["profile"] = {
+            "running": True, "hz": 19.0, "ticks": 3, "errors": 0,
+            "overhead_ratio": 0.0, "attributed_ratio": 0.0,
+            "last_window": {"samples": 0, "top_frames": []},
+        }
+        board = render_dashboard(stats, window="1m")
+        assert "(no samples in the last window)" in board
